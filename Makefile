@@ -1,0 +1,44 @@
+# Convenience targets for the rdramstream reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench figures examples cover fuzz clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+vet:
+	gofmt -l . && $(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure plus simulator micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every artifact: ASCII tables on stdout, CSV series and SVG
+# figures under out/.
+figures:
+	$(GO) run ./cmd/paperfigs -csv out/csv -svg out/svg
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/scientific
+	$(GO) run ./examples/multimedia
+	$(GO) run ./examples/strides
+	$(GO) run ./examples/tune
+	$(GO) run ./examples/compileloop
+
+cover:
+	$(GO) test -cover ./...
+
+# Short fuzz passes over the address mapper and the device protocol.
+fuzz:
+	$(GO) test -fuzz=FuzzMapUnmap -fuzztime=10s ./internal/addrmap/
+	$(GO) test -fuzz=FuzzDeviceDo -fuzztime=10s ./internal/rdram/
+
+clean:
+	rm -rf out

@@ -1,0 +1,253 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`). Each BenchmarkFigure*
+// rebuilds its artifact once per iteration; the reported ns/op is the cost
+// of the full reproduction, and the b.Log output carries the headline
+// values so a bench run doubles as a results report (-v to see them).
+package rdramstream_test
+
+import (
+	"testing"
+
+	"rdramstream"
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/analytic"
+	"rdramstream/internal/experiments"
+	"rdramstream/internal/rdram"
+	"rdramstream/internal/sim"
+	"rdramstream/internal/stream"
+)
+
+// BenchmarkFigure1DRAMComparison regenerates the Figure 1 DRAM table.
+func BenchmarkFigure1DRAMComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.Figure1(); len(tab.Rows) != 5 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFigure2TimingTable regenerates the Figure 2 parameter table.
+func BenchmarkFigure2TimingTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.Figure2(); len(tab.Rows) != 11 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFigure5Timeline renders the CLI protocol timeline.
+func BenchmarkFigure5Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6Timeline renders the PI protocol timeline.
+func BenchmarkFigure6Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7PanelVaxpyPI1024 regenerates one representative Figure 7
+// panel (five FIFO depths, two placements, plus the analytic limits).
+func BenchmarkFigure7PanelVaxpyPI1024(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := experiments.Figure7Panel("vaxpy", addrmap.PI, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("vaxpy/PI/1024 staggered by depth: %v", p.Staggered)
+		}
+	}
+}
+
+// BenchmarkFigure7AllPanels regenerates the full sixteen-panel grid.
+func BenchmarkFigure7AllPanels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) != 16 {
+			b.Fatalf("panels = %d", len(panels))
+		}
+	}
+}
+
+// BenchmarkFigure8StridedFill regenerates the strided cacheline-fill table.
+func BenchmarkFigure8StridedFill(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.Figure8(); len(tab.Rows) != 32 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFigure9NonUnitStride regenerates the strided vaxpy comparison.
+func BenchmarkFigure9NonUnitStride(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("stride 4 row: %v", tab.Rows[0])
+		}
+	}
+}
+
+// BenchmarkHeadlineNumbers regenerates the quoted-number comparison table.
+func BenchmarkHeadlineNumbers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.HeadlineNumbers(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerAblation runs the MSU-policy ablation grid.
+func BenchmarkSchedulerAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SchedulerAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyticBounds evaluates the full set of §5 equations across a
+// parameter sweep — the analytic models must stay trivially cheap.
+func BenchmarkAnalyticBounds(b *testing.B) {
+	p := analytic.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		var acc float64
+		for s := 1; s <= 8; s++ {
+			for _, f := range []int{8, 32, 128} {
+				acc += p.CacheMultiCLI(s, 1024) + p.CacheMultiPI(s, 1024)
+				acc += p.SMCCombinedBound(true, s, 1, f, 1024)
+				acc += p.SMCCombinedBound(false, s, 1, f, 1024)
+			}
+		}
+		if acc <= 0 {
+			b.Fatal("bounds vanished")
+		}
+	}
+}
+
+// BenchmarkChannelScaling runs the multi-device channel extension table.
+func BenchmarkChannelScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ChannelScaling(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWritebackAblation runs the §6 writeback-cost table.
+func BenchmarkWritebackAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WritebackAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheConflictAblation runs the §6 cache-conflict table.
+func BenchmarkCacheConflictAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CacheConflictAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefreshAblation runs the refresh-overhead table.
+func BenchmarkRefreshAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RefreshAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- simulator micro-benchmarks ---
+
+// BenchmarkDeviceOpenPageRead measures the raw device model: back-to-back
+// page-hit packet reads.
+func BenchmarkDeviceOpenPageRead(b *testing.B) {
+	d := rdram.NewDevice(rdram.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Do(0, rdram.Request{Bank: 0, Row: 0, Col: i % 64})
+	}
+}
+
+// BenchmarkSMCCopy1024 measures a full SMC simulation of copy.
+func BenchmarkSMCCopy1024(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := rdramstream.Simulate(rdramstream.Scenario{
+			KernelName: "copy", N: 1024, Scheme: rdramstream.CLI,
+			Mode: rdramstream.SMC, FIFODepth: 128,
+			Placement: rdramstream.Staggered, SkipVerify: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.PercentPeak < 50 {
+			b.Fatalf("suspicious result %v", out.PercentPeak)
+		}
+	}
+}
+
+// BenchmarkNaturalOrderDaxpy1024 measures a full natural-order simulation.
+func BenchmarkNaturalOrderDaxpy1024(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rdramstream.Simulate(rdramstream.Scenario{
+			KernelName: "daxpy", N: 1024, Scheme: addrmap.PI,
+			Mode: sim.NaturalOrder, Placement: stream.Staggered, SkipVerify: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSMCLongVector measures simulation throughput on a long stream
+// (64K elements), the scale a downstream user would sweep.
+func BenchmarkSMCLongVector(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rdramstream.Simulate(rdramstream.Scenario{
+			KernelName: "daxpy", N: 65536, Scheme: rdramstream.PI,
+			Mode: rdramstream.SMC, FIFODepth: 128,
+			Placement: rdramstream.Staggered, SkipVerify: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPriorFPMSystem regenerates the §3 fast-page-mode system table.
+func BenchmarkPriorFPMSystem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PriorSystem(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrispEfficiency regenerates the random-workload channel table.
+func BenchmarkCrispEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CrispEfficiency(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation, printing ASCII tables (and optionally CSV files) so the
+// reproduction can be compared against the published results.
+//
+// Usage:
+//
+//	paperfigs                 # everything
+//	paperfigs -fig 7          # just Figure 7's sixteen panels
+//	paperfigs -headline       # just the quoted-number comparison
+//	paperfigs -csv out/       # also write CSV series to a directory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rdramstream/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate only this figure (1, 2, 5, 6, 7, 8, or 9)")
+	headline := flag.Bool("headline", false, "print only the headline-number comparison")
+	ablation := flag.Bool("ablation", false, "print only the scheduler ablation")
+	extensions := flag.Bool("extensions", false, "print only the beyond-the-paper ablations (channel scaling, writeback, refresh)")
+	charts := flag.Bool("charts", false, "render Figure 7 panels as ASCII charts instead of tables")
+	csvDir := flag.String("csv", "", "directory to write CSV copies of each table")
+	svgDir := flag.String("svg", "", "directory to write SVG renderings of Figures 7, 8, and 9")
+	flag.Parse()
+
+	writeSVG := func(name, content string) {
+		if *svgDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*svgDir, name+".svg")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	all := !*headline && !*ablation && !*extensions && *fig == 0
+	emit := func(name string, t *experiments.Table) {
+		fmt.Println(t.Render())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+
+	if all || *fig == 1 {
+		emit("figure1", experiments.Figure1())
+	}
+	if all || *fig == 2 {
+		emit("figure2", experiments.Figure2())
+	}
+	if all || *fig == 5 {
+		s, err := experiments.Figure5()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Figure 5 — CLI closed-page timeline")
+		fmt.Println(s)
+	}
+	if all || *fig == 6 {
+		s, err := experiments.Figure6()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Figure 6 — PI open-page timeline")
+		fmt.Println(s)
+	}
+	if all || *fig == 7 {
+		panels, err := experiments.Figure7()
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range panels {
+			name := fmt.Sprintf("figure7_%s_%s_%d", p.Kernel, strings.ToLower(p.Scheme.String()), p.N)
+			writeSVG(name, p.SVG())
+			if *charts {
+				fmt.Println(p.Chart())
+				continue
+			}
+			emit(name, p.Table())
+		}
+	}
+	if all || *fig == 8 {
+		emit("figure8", experiments.Figure8())
+		writeSVG("figure8", experiments.Figure8SVG())
+	}
+	if all || *fig == 9 {
+		t, err := experiments.Figure9()
+		if err != nil {
+			fatal(err)
+		}
+		emit("figure9", t)
+		if *svgDir != "" {
+			s, err := experiments.Figure9SVG()
+			if err != nil {
+				fatal(err)
+			}
+			writeSVG("figure9", s)
+		}
+	}
+	if all || *ablation {
+		t, err := experiments.SchedulerAblation()
+		if err != nil {
+			fatal(err)
+		}
+		emit("ablation_scheduler", t)
+	}
+	if all || *extensions {
+		for name, gen := range map[string]func() (*experiments.Table, error){
+			"channel_scaling":         experiments.ChannelScaling,
+			"writeback_ablation":      experiments.WritebackAblation,
+			"refresh_ablation":        experiments.RefreshAblation,
+			"cache_conflict_ablation": experiments.CacheConflictAblation,
+			"crisp_efficiency":        experiments.CrispEfficiency,
+			"prior_fpm_system":        experiments.PriorSystem,
+			"policy_cross":            experiments.PolicyCross,
+		} {
+			t, err := gen()
+			if err != nil {
+				fatal(err)
+			}
+			emit(name, t)
+		}
+	}
+	if all || *headline {
+		t, err := experiments.HeadlineNumbers()
+		if err != nil {
+			fatal(err)
+		}
+		emit("headline", t)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperfigs:", err)
+	os.Exit(1)
+}

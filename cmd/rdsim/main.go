@@ -1,0 +1,136 @@
+// Command rdsim runs one stream computation through the Direct RDRAM
+// simulator and prints its effective bandwidth, traffic, and device
+// activity — the interactive front end of the library.
+//
+// Examples:
+//
+//	rdsim -kernel daxpy -n 1024 -mode smc -scheme pi -fifo 128
+//	rdsim -kernel vaxpy -n 1024 -stride 4 -mode natural -scheme cli
+//	rdsim -kernel copy -n 4096 -mode smc -policy bankaware -placement aligned
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rdramstream"
+)
+
+func main() {
+	kernel := flag.String("kernel", "daxpy", "benchmark kernel: copy, daxpy, hydro, vaxpy")
+	n := flag.Int("n", 1024, "stream length in 64-bit elements")
+	stride := flag.Int64("stride", 1, "element stride in 64-bit words")
+	scheme := flag.String("scheme", "cli", "memory organization: cli (closed page) or pi (open page)")
+	mode := flag.String("mode", "smc", "controller: smc or natural")
+	fifo := flag.Int("fifo", 32, "SMC FIFO depth in elements")
+	policy := flag.String("policy", "roundrobin", "MSU policy: roundrobin, bankaware, or hitfirst")
+	placement := flag.String("placement", "staggered", "vector placement: staggered or aligned")
+	speculate := flag.Bool("speculate", false, "enable speculative page activation (SMC, PI)")
+	writeAlloc := flag.Bool("writealloc", false, "natural-order: fetch store-missed lines and write back on eviction")
+	refresh := flag.Int64("refresh", 0, "inject a refresh every N cycles (0 = off, as the paper assumes)")
+	devices := flag.Int("devices", 1, "RDRAM chips on the channel (banks scale with it)")
+	cacheWords := flag.Int("cache", 0, "natural-order: put a real cache of this many 64-bit words in front (0 = paper's ideal line buffers)")
+	cacheWays := flag.Int("cacheways", 1, "associativity of the -cache model")
+	seed := flag.Int64("seed", 1, "data pattern seed")
+	jsonOut := flag.Bool("json", false, "emit the outcome as JSON (for scripting)")
+	flag.Parse()
+
+	sc := rdramstream.Scenario{
+		KernelName:        *kernel,
+		N:                 *n,
+		Stride:            *stride,
+		FIFODepth:         *fifo,
+		SpeculateActivate: *speculate,
+		WriteAllocate:     *writeAlloc,
+		Seed:              *seed,
+		Device:            rdramstream.DefaultDevice(),
+	}
+	sc.Device.RefreshInterval = *refresh
+	if *devices > 1 {
+		sc.Device.Geometry.Banks *= *devices
+		sc.Device.Geometry.DevicesOnChannel = *devices
+	}
+	if *cacheWords > 0 {
+		sc.Cache = &rdramstream.CacheConfig{SizeWords: *cacheWords, LineWords: 4, Ways: *cacheWays}
+	}
+
+	switch strings.ToLower(*scheme) {
+	case "cli":
+		sc.Scheme = rdramstream.CLI
+	case "pi":
+		sc.Scheme = rdramstream.PI
+	default:
+		fatalf("unknown scheme %q (want cli or pi)", *scheme)
+	}
+	switch strings.ToLower(*mode) {
+	case "smc":
+		sc.Mode = rdramstream.SMC
+	case "natural", "natural-order", "cache":
+		sc.Mode = rdramstream.NaturalOrder
+	default:
+		fatalf("unknown mode %q (want smc or natural)", *mode)
+	}
+	switch strings.ToLower(*policy) {
+	case "roundrobin", "round-robin", "rr":
+		sc.Policy = rdramstream.RoundRobin
+	case "bankaware", "bank-aware", "ba":
+		sc.Policy = rdramstream.BankAware
+	case "hitfirst", "hit-first", "hf":
+		sc.Policy = rdramstream.HitFirst
+	default:
+		fatalf("unknown policy %q", *policy)
+	}
+	switch strings.ToLower(*placement) {
+	case "staggered":
+		sc.Placement = rdramstream.Staggered
+	case "aligned":
+		sc.Placement = rdramstream.Aligned
+	default:
+		fatalf("unknown placement %q", *placement)
+	}
+
+	out, err := rdramstream.Simulate(sc)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Kernel    string
+			N         int
+			Stride    int64
+			Scheme    string
+			Mode      string
+			FIFODepth int `json:",omitempty"`
+			rdramstream.Outcome
+		}{*kernel, *n, *stride, sc.Scheme.String(), sc.Mode.String(), *fifo, out}); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	fmt.Printf("kernel      %s (n=%d stride=%d)\n", *kernel, *n, *stride)
+	fmt.Printf("system      %v / %v", sc.Scheme, sc.Mode)
+	if sc.Mode == rdramstream.SMC {
+		fmt.Printf(" (fifo=%d policy=%v speculate=%v)", sc.FIFODepth, sc.Policy, sc.SpeculateActivate)
+	}
+	fmt.Printf(" placement=%v\n", sc.Placement)
+	fmt.Printf("cycles      %d (%.2f us at 400 MHz)\n", out.Cycles, float64(out.Cycles)*2.5/1000)
+	fmt.Printf("bandwidth   %.2f%% of peak (%.0f MB/s of 1600)\n", out.PercentPeak, out.EffectiveMBps)
+	if out.PercentAttainable != out.PercentPeak {
+		fmt.Printf("attainable  %.2f%% of the stride's attainable bandwidth\n", out.PercentAttainable)
+	}
+	fmt.Printf("traffic     %d useful words, %d transferred\n", out.UsefulWords, out.TransferredWords)
+	fmt.Printf("device      %v\n", out.Device)
+	fmt.Printf("verified    %v\n", out.Verified)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rdsim: "+format+"\n", args...)
+	os.Exit(1)
+}

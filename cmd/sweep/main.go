@@ -1,0 +1,92 @@
+// Command sweep runs free-form parameter sweeps over the simulator and
+// emits CSV on stdout, for exploring the design space beyond the paper's
+// figures (FIFO depth, stride, bank count, vector length).
+//
+// Examples:
+//
+//	sweep -var fifo -kernel vaxpy -n 1024          # FIFO depth sweep
+//	sweep -var stride -kernel vaxpy -mode natural  # stride sweep
+//	sweep -var banks -kernel daxpy -mode smc       # bank-count sweep
+//	sweep -var length -kernel copy -mode smc       # vector-length sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rdramstream"
+)
+
+func main() {
+	variable := flag.String("var", "fifo", "sweep variable: fifo, stride, banks, length, or pagesize")
+	kernel := flag.String("kernel", "vaxpy", "benchmark kernel")
+	n := flag.Int("n", 1024, "stream length (fixed unless -var length)")
+	mode := flag.String("mode", "smc", "controller: smc or natural")
+	fifo := flag.Int("fifo", 32, "FIFO depth (fixed unless -var fifo)")
+	flag.Parse()
+
+	base := rdramstream.Scenario{
+		KernelName: *kernel,
+		N:          *n,
+		FIFODepth:  *fifo,
+		Placement:  rdramstream.Staggered,
+		SkipVerify: true,
+		Device:     rdramstream.DefaultDevice(),
+	}
+	if strings.EqualFold(*mode, "natural") {
+		base.Mode = rdramstream.NaturalOrder
+	} else {
+		base.Mode = rdramstream.SMC
+	}
+
+	run := func(sc rdramstream.Scenario, x int) {
+		for _, scheme := range []rdramstream.Interleave{rdramstream.CLI, rdramstream.PI} {
+			sc.Scheme = scheme
+			out, err := rdramstream.Simulate(sc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s,%d,%v,%.2f,%.2f,%d\n", *variable, x, scheme, out.PercentPeak, out.EffectiveMBps, out.Cycles)
+		}
+	}
+
+	fmt.Println("variable,value,scheme,percent_peak,mbps,cycles")
+	switch strings.ToLower(*variable) {
+	case "fifo":
+		for _, f := range []int{8, 16, 32, 64, 128, 256} {
+			sc := base
+			sc.FIFODepth = f
+			run(sc, f)
+		}
+	case "stride":
+		for _, s := range []int64{1, 2, 4, 8, 16, 32} {
+			sc := base
+			sc.Stride = s
+			run(sc, int(s))
+		}
+	case "banks":
+		for _, b := range []int{2, 4, 8, 16, 32} {
+			sc := base
+			sc.Device.Geometry.Banks = b
+			run(sc, b)
+		}
+	case "length":
+		for _, l := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
+			sc := base
+			sc.N = l
+			run(sc, l)
+		}
+	case "pagesize":
+		for _, pw := range []int{32, 64, 128, 256, 512} {
+			sc := base
+			sc.Device.Geometry.PageWords = pw
+			run(sc, pw)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown variable %q\n", *variable)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+// Multimedia workload: alpha-blending two video frames, one of the
+// streaming computations the paper's introduction motivates. Two variants
+// are compared:
+//
+//  1. planar frames (unit-stride streams) — the SMC streams at near peak;
+//  2. extracting one channel from interleaved RGBA pixels (stride-4
+//     streams) — packets are three-quarters wasted, so even perfect
+//     ordering tops out at 50% of peak and delivers ~25%.
+//
+// This reproduces, on a real-looking workload, the paper's Figure 8/9
+// story: access order fixes scheduling losses, but sparse packets waste
+// bandwidth no controller can recover.
+//
+//	go run ./examples/multimedia
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rdramstream"
+)
+
+const pixels = 2048 // one scanline block per pass
+
+// blend builds the kernel out[i] = alpha*f1[i] + (1-alpha)*f2[i] over
+// streams with the given stride.
+func blend(alpha float64, stride int64, n int, scheme rdramstream.Interleave) *rdramstream.Kernel {
+	foot := int64(n) * stride
+	bases, err := rdramstream.LayoutVectors(scheme, rdramstream.Staggered, []int64{foot, foot, foot})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &rdramstream.Kernel{
+		Name: "alpha-blend",
+		Streams: []rdramstream.Stream{
+			{Name: "frame1", Base: bases[0], Stride: stride, Length: n, Mode: rdramstream.Read},
+			{Name: "frame2", Base: bases[1], Stride: stride, Length: n, Mode: rdramstream.Read},
+			{Name: "out", Base: bases[2], Stride: stride, Length: n, Mode: rdramstream.Write},
+		},
+		Compute: func(_ int, in []float64) []float64 {
+			return []float64{alpha*in[0] + (1-alpha)*in[1]}
+		},
+	}
+}
+
+func run(title string, stride int64, mode rdramstream.Controller) {
+	k := blend(0.75, stride, pixels, rdramstream.PI)
+	out, err := rdramstream.SimulateKernel(k, rdramstream.Scenario{
+		Scheme: rdramstream.PI, Mode: mode, FIFODepth: 128,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-44s %6.1f%% of peak  (%4.0f MB/s, %5.1f%% of attainable, verified=%v)\n",
+		title, out.PercentPeak, out.EffectiveMBps, out.PercentAttainable, out.Verified)
+}
+
+func main() {
+	fmt.Printf("alpha blend of two %d-pixel scanline blocks on one Direct RDRAM:\n\n", pixels)
+	run("planar frames, natural-order cache", 1, rdramstream.NaturalOrder)
+	run("planar frames, SMC", 1, rdramstream.SMC)
+	fmt.Println()
+	run("interleaved RGBA, one channel (stride 4), cache", 4, rdramstream.NaturalOrder)
+	run("interleaved RGBA, one channel (stride 4), SMC", 4, rdramstream.SMC)
+	fmt.Println()
+	fmt.Println("the SMC recovers the scheduling losses in both layouts, but only the")
+	fmt.Println("planar layout lets it use every word of each 16-byte DATA packet —")
+	fmt.Println("strided channel extraction caps at 50% of peak no matter the ordering.")
+}

@@ -1,0 +1,116 @@
+// Scientific workload: banded matrix-vector multiplication by diagonals —
+// the computation the paper's vaxpy kernel comes from. Each diagonal d of
+// a banded matrix A contributes y += A_d * x_d, which is exactly one vaxpy
+// pass over three streams. The example runs every diagonal through the
+// SMC, checks the numerics against a direct dense computation, and reports
+// the sustained memory bandwidth of the whole solve.
+//
+//	go run ./examples/scientific
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"rdramstream"
+)
+
+const (
+	n     = 512 // matrix dimension
+	diags = 5   // bandwidth of the banded matrix (main ± 2)
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	// Dense reference data: A has `diags` non-zero diagonals.
+	a := make([][]float64, diags) // a[d][i], diagonal offsets -2..+2
+	offsets := []int{-2, -1, 0, 1, 2}
+	for d := range a {
+		a[d] = make([]float64, n)
+		for i := range a[d] {
+			a[d][i] = float64(rng.Intn(8)) / 4
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(rng.Intn(16)) / 8
+	}
+
+	// Golden result: y = sum over diagonals of A_d * x shifted by offset.
+	golden := make([]float64, n)
+	for d, off := range offsets {
+		for i := 0; i < n; i++ {
+			j := i + off
+			if j < 0 || j >= n {
+				continue
+			}
+			golden[i] += a[d][i] * x[j]
+		}
+	}
+
+	// Stream the computation one diagonal at a time: y <- a_d*x_d + y.
+	// Each pass is a vaxpy over the valid index range of that diagonal.
+	var totalCycles int64
+	var totalWords int64
+	y := make([]float64, n)
+	for d, off := range offsets {
+		lo, hi := 0, n
+		if off < 0 {
+			lo = -off
+		}
+		if off > 0 {
+			hi = n - off
+		}
+		length := hi - lo
+
+		bases, err := rdramstream.LayoutVectors(rdramstream.PI, rdramstream.Staggered,
+			[]int64{int64(length), int64(length), int64(length)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The host-side numerics of this pass (the simulator seeds memory
+		// with its own pattern for the timing run, so the real numbers are
+		// computed here with the same vaxpy recurrence).
+		aD, xD, yD := a[d][lo:hi], x[lo+off:hi+off], y[lo:hi]
+		for i := 0; i < length; i++ {
+			yD[i] = aD[i]*xD[i] + yD[i]
+		}
+
+		k := &rdramstream.Kernel{
+			Name: fmt.Sprintf("vaxpy-diag%+d", off),
+			Streams: []rdramstream.Stream{
+				{Name: "a", Base: bases[0], Stride: 1, Length: length, Mode: rdramstream.Read},
+				{Name: "x", Base: bases[1], Stride: 1, Length: length, Mode: rdramstream.Read},
+				{Name: "y", Base: bases[2], Stride: 1, Length: length, Mode: rdramstream.Read},
+				{Name: "y", Base: bases[2], Stride: 1, Length: length, Mode: rdramstream.Write},
+			},
+			Compute: func(_ int, in []float64) []float64 {
+				return []float64{in[0]*in[1] + in[2]}
+			},
+		}
+		out, err := rdramstream.SimulateKernel(k, rdramstream.Scenario{
+			Scheme: rdramstream.PI, Mode: rdramstream.SMC, FIFODepth: 128,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalCycles += out.Cycles
+		totalWords += out.UsefulWords
+		fmt.Printf("diagonal %+d: %4d elements, %6.1f%% of peak, verified=%v\n",
+			off, length, out.PercentPeak, out.Verified)
+	}
+
+	// Numerics check.
+	for i := range golden {
+		if math.Abs(golden[i]-y[i]) > 1e-12 {
+			log.Fatalf("element %d: got %v, want %v", i, y[i], golden[i])
+		}
+	}
+	mbps := float64(totalWords*8) / (float64(totalCycles) * 2.5) * 1000
+	fmt.Printf("\nbanded mat-vec (n=%d, %d diagonals): all results match the dense reference\n", n, diags)
+	fmt.Printf("aggregate: %d stream words in %d cycles = %.0f MB/s sustained (peak 1600)\n",
+		totalWords, totalCycles, mbps)
+}

@@ -1,0 +1,3 @@
+module rdramstream
+
+go 1.22

@@ -1,0 +1,201 @@
+package addrmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rdramstream/internal/rdram"
+)
+
+func testGeometry() rdram.Geometry {
+	g := rdram.DefaultGeometry()
+	g.PagesPerBank = 64 // keep address space small for exhaustive tests
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	g := testGeometry()
+	if _, err := New(CLI, g, 4); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		scheme    Scheme
+		lineWords int
+	}{
+		{Scheme(7), 4}, // unknown scheme
+		{CLI, 0},       // zero line
+		{CLI, 3},       // not a packet multiple
+		{CLI, 100},     // does not divide the page
+	}
+	for i, c := range cases {
+		if _, err := New(c.scheme, g, c.lineWords); err == nil {
+			t.Errorf("case %d: expected error for scheme=%v line=%d", i, c.scheme, c.lineWords)
+		}
+	}
+	bad := g
+	bad.Banks = 0
+	if _, err := New(CLI, bad, 4); err == nil {
+		t.Error("expected error for invalid geometry")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on invalid input")
+		}
+	}()
+	MustNew(CLI, testGeometry(), 3)
+}
+
+func TestSchemeString(t *testing.T) {
+	if CLI.String() != "CLI" || PI.String() != "PI" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme should still render")
+	}
+}
+
+func TestCLIConsecutiveLinesRotateBanks(t *testing.T) {
+	m := MustNew(CLI, testGeometry(), 4)
+	for line := 0; line < 32; line++ {
+		loc := m.Map(int64(line * 4))
+		if loc.Bank != line%8 {
+			t.Errorf("line %d: bank = %d, want %d", line, loc.Bank, line%8)
+		}
+		// All words of one cacheline share a bank and row.
+		for w := 1; w < 4; w++ {
+			l2 := m.Map(int64(line*4 + w))
+			if l2.Bank != loc.Bank || l2.Row != loc.Row {
+				t.Errorf("line %d word %d: split across banks/rows", line, w)
+			}
+		}
+	}
+}
+
+func TestPIConsecutivePagesRotateBanks(t *testing.T) {
+	g := testGeometry()
+	m := MustNew(PI, g, 4)
+	for page := 0; page < 24; page++ {
+		base := int64(page * g.PageWords)
+		loc := m.Map(base)
+		if loc.Bank != page%8 {
+			t.Errorf("page %d: bank = %d, want %d", page, loc.Bank, page%8)
+		}
+		if loc.Row != page/8 {
+			t.Errorf("page %d: row = %d, want %d", page, loc.Row, page/8)
+		}
+		// Every word within the page stays in this bank and row.
+		for _, off := range []int64{1, 63, int64(g.PageWords) - 1} {
+			l2 := m.Map(base + off)
+			if l2.Bank != loc.Bank || l2.Row != loc.Row {
+				t.Errorf("page %d offset %d: left the page's bank/row", page, off)
+			}
+		}
+	}
+}
+
+func TestPICrossingPageBoundarySwitchesBank(t *testing.T) {
+	g := testGeometry()
+	m := MustNew(PI, g, 4)
+	last := m.Map(int64(g.PageWords) - 1)
+	next := m.Map(int64(g.PageWords))
+	if last.Bank == next.Bank {
+		t.Errorf("page boundary did not switch banks: %d -> %d", last.Bank, next.Bank)
+	}
+}
+
+func TestMapUnmapRoundTripExhaustive(t *testing.T) {
+	g := testGeometry()
+	g.PagesPerBank = 4
+	for _, scheme := range []Scheme{CLI, PI} {
+		m := MustNew(scheme, g, 4)
+		for addr := int64(0); addr < m.CapacityWords(); addr++ {
+			loc := m.Map(addr)
+			if back := m.Unmap(loc); back != addr {
+				t.Fatalf("%v: Unmap(Map(%d)) = %d", scheme, addr, back)
+			}
+		}
+	}
+}
+
+func TestMapUnmapRoundTripProperty(t *testing.T) {
+	g := rdram.DefaultGeometry() // full 64 Mbit space
+	for _, scheme := range []Scheme{CLI, PI} {
+		m := MustNew(scheme, g, 4)
+		cap := m.CapacityWords()
+		f := func(raw int64) bool {
+			addr := raw % cap
+			if addr < 0 {
+				addr = -addr
+			}
+			loc := m.Map(addr)
+			if loc.Bank < 0 || loc.Bank >= g.Banks || loc.Row < 0 || loc.Row >= g.PagesPerBank {
+				return false
+			}
+			if loc.Col < 0 || loc.Col >= g.PageWords/rdram.WordsPerPacket {
+				return false
+			}
+			return m.Unmap(loc) == addr
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+			t.Errorf("%v: %v", scheme, err)
+		}
+	}
+}
+
+func TestMapIsInjectiveSampled(t *testing.T) {
+	g := testGeometry()
+	rng := rand.New(rand.NewSource(7))
+	for _, scheme := range []Scheme{CLI, PI} {
+		m := MustNew(scheme, g, 8)
+		seen := make(map[Loc]int64)
+		for i := 0; i < 20000; i++ {
+			addr := rng.Int63n(m.CapacityWords())
+			loc := m.Map(addr)
+			if prev, ok := seen[loc]; ok && prev != addr {
+				t.Fatalf("%v: addresses %d and %d collide at %+v", scheme, prev, addr, loc)
+			}
+			seen[loc] = addr
+		}
+	}
+}
+
+func TestMapOutOfRangePanics(t *testing.T) {
+	m := MustNew(CLI, testGeometry(), 4)
+	for _, addr := range []int64{-1, m.CapacityWords()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for address %d", addr)
+				}
+			}()
+			m.Map(addr)
+		}()
+	}
+}
+
+func TestPacketAddr(t *testing.T) {
+	cases := []struct{ in, want int64 }{
+		{0, 0}, {1, 0}, {2, 2}, {3, 2}, {100, 100}, {101, 100},
+	}
+	for _, c := range cases {
+		if got := PacketAddr(c.in); got != c.want {
+			t.Errorf("PacketAddr(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	g := testGeometry()
+	m := MustNew(PI, g, 4)
+	if m.Scheme() != PI || m.LineWords() != 4 || m.PageWords() != g.PageWords || m.Banks() != g.Banks {
+		t.Error("accessor mismatch")
+	}
+	want := int64(g.Banks) * int64(g.PagesPerBank) * int64(g.PageWords)
+	if m.CapacityWords() != want {
+		t.Errorf("CapacityWords = %d, want %d", m.CapacityWords(), want)
+	}
+}

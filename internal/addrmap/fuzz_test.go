@@ -1,0 +1,42 @@
+package addrmap
+
+import (
+	"testing"
+
+	"rdramstream/internal/rdram"
+)
+
+// FuzzMapUnmap fuzzes the address translation round trip for both schemes
+// over a range of geometries (run with `go test -fuzz=FuzzMapUnmap`; the
+// seed corpus runs in every ordinary test invocation).
+func FuzzMapUnmap(f *testing.F) {
+	f.Add(int64(0), uint8(0), uint8(3))
+	f.Add(int64(12345), uint8(1), uint8(4))
+	f.Add(int64(1<<30), uint8(0), uint8(5))
+	f.Fuzz(func(t *testing.T, raw int64, schemeRaw, lineShift uint8) {
+		scheme := CLI
+		if schemeRaw%2 == 1 {
+			scheme = PI
+		}
+		lineWords := 2 << (lineShift % 6) // 2..64, always a packet multiple
+		g := rdram.DefaultGeometry()
+		if g.PageWords%lineWords != 0 {
+			t.Skip()
+		}
+		m, err := New(scheme, g, lineWords)
+		if err != nil {
+			t.Skip()
+		}
+		addr := raw % m.CapacityWords()
+		if addr < 0 {
+			addr = -addr
+		}
+		loc := m.Map(addr)
+		if back := m.Unmap(loc); back != addr {
+			t.Fatalf("scheme=%v line=%d: Unmap(Map(%d)) = %d", scheme, lineWords, addr, back)
+		}
+		if loc.Bank < 0 || loc.Bank >= g.Banks || loc.Row < 0 || loc.Row >= g.PagesPerBank {
+			t.Fatalf("out-of-range location %+v", loc)
+		}
+	})
+}

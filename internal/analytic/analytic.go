@@ -1,0 +1,295 @@
+// Package analytic implements the paper's Section 5 performance models:
+// closed-form bounds on the percentage of peak bandwidth delivered by
+// (a) natural-order cacheline accesses and (b) a Stream Memory Controller,
+// for both CLI (cacheline-interleaved, closed-page) and PI
+// (page-interleaved, open-page) memory organizations.
+//
+// Every function cites the equation it implements. Where the printed
+// equations are known to be optimistic or ambiguous (see DESIGN.md §3 and
+// EXPERIMENTS.md), the implementation follows the text as printed; the
+// simulators in internal/natorder and internal/smc provide the measured
+// counterpart.
+package analytic
+
+import (
+	"fmt"
+
+	"rdramstream/internal/rdram"
+)
+
+// Params collects the device and system constants the equations use.
+type Params struct {
+	T  rdram.Timing
+	Lc int // cacheline size in 64-bit words (L_c)
+	Lp int // DRAM page size in 64-bit words (L_P)
+	Wp int // words per DATA packet (w_p)
+}
+
+// DefaultParams returns the configuration of the paper's evaluation:
+// -50/-800 part timing, 32-byte cachelines, 1 KB pages, 2-word packets.
+func DefaultParams() Params {
+	return Params{T: rdram.DefaultTiming(), Lc: 4, Lp: 128, Wp: rdram.WordsPerPacket}
+}
+
+// Validate reports whether the parameters satisfy the paper's modeling
+// assumptions (§4.1): the cacheline is a whole number of packets and the
+// page a whole number of cachelines.
+func (p Params) Validate() error {
+	if err := p.T.Validate(); err != nil {
+		return err
+	}
+	if p.Wp <= 0 || p.Lc <= 0 || p.Lc%p.Wp != 0 {
+		return fmt.Errorf("analytic: cacheline %d must be a positive multiple of the packet %d", p.Lc, p.Wp)
+	}
+	if p.Lp <= 0 || p.Lp%p.Lc != 0 {
+		return fmt.Errorf("analytic: page %d must be a positive multiple of the cacheline %d", p.Lp, p.Lc)
+	}
+	return nil
+}
+
+// cyclesPerWordPeak is t_PACK / w_p, the peak-rate transfer time per word.
+func (p Params) cyclesPerWordPeak() float64 {
+	return float64(p.T.TPack) / float64(p.Wp)
+}
+
+// PercentPeakFromT converts an average per-word access time T (cycles per
+// 64-bit word) into a percentage of peak bandwidth — Equation 5.1.
+func (p Params) PercentPeakFromT(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return 100 * p.cyclesPerWordPeak() / t
+}
+
+// TLCC is Equation 5.2: the time for one cacheline access under a
+// closed-page policy, T_LCC = t_RAC + t_PACK*(L_c/w_p - 1).
+func (p Params) TLCC() float64 {
+	return float64(p.T.TRAC()) + float64(p.T.TPack)*(float64(p.Lc)/float64(p.Wp)-1)
+}
+
+// TLCO is Equation 5.7: the time for one cacheline access from an open
+// page, T_LCO = t_CAC + t_PACK*(L_c/w_p - 1).
+func (p Params) TLCO() float64 {
+	return float64(p.T.TCAC) + float64(p.T.TPack)*(float64(p.Lc)/float64(p.Wp)-1)
+}
+
+// CacheSingleCLI bounds natural-order cacheline fills of a single stream
+// with the given stride on a CLI closed-page system — Equations 5.2/5.3,
+// extended beyond the cacheline size per Hong's thesis: once the stride
+// exceeds L_c every element costs a full line access, so the bound is flat
+// (the paper's Figure 8).
+func (p Params) CacheSingleCLI(stride int) float64 {
+	if stride <= 0 {
+		return 0
+	}
+	t := p.TLCC()
+	if stride < p.Lc {
+		t = t / (float64(p.Lc) / float64(stride))
+	}
+	return p.PercentPeakFromT(t)
+}
+
+// CacheSinglePI bounds natural-order cacheline fills of a single stream on
+// a PI open-page system — Equation 5.8 (with the precharge time t_RP the
+// accompanying text includes), extended to strides beyond the cacheline:
+// the first line of each page pays the precharge and row miss, the
+// remaining lines touched in that page are open-page accesses.
+func (p Params) CacheSinglePI(stride int) float64 {
+	if stride <= 0 {
+		return 0
+	}
+	elemsPerPage := float64(p.Lp) / float64(stride)
+	if elemsPerPage < 1 {
+		// Every element opens a fresh page.
+		return p.PercentPeakFromT(float64(p.T.TRP) + p.TLCC())
+	}
+	linesTouched := elemsPerPage * float64(stride) / float64(p.Lc)
+	if stride >= p.Lc {
+		linesTouched = elemsPerPage // one line per element
+	}
+	total := float64(p.T.TRP) + p.TLCC() + p.TLCO()*(linesTouched-1)
+	return p.PercentPeakFromT(total / elemsPerPage)
+}
+
+// usefulPerLine is the number of elements a stream with the given stride
+// consumes from each cacheline it touches.
+func (p Params) usefulPerLine(stride int) float64 {
+	if stride >= p.Lc {
+		return 1
+	}
+	return float64(p.Lc) / float64(stride)
+}
+
+// CacheMultiCLI bounds a natural-order computation of s unit-stride
+// streams of length ls on a CLI closed-page system — Equations 5.4-5.6.
+func (p Params) CacheMultiCLI(s, ls int) float64 {
+	return p.CacheMultiCLIStrided(s, ls, 1)
+}
+
+// CacheMultiCLIStrided generalizes Equations 5.4-5.6 to strided streams
+// per Hong's thesis: full cachelines still move, but only L_c/stride of
+// each line's words are useful (one, beyond the line size).
+func (p Params) CacheMultiCLIStrided(s, ls, stride int) float64 {
+	if s < 1 || ls < 1 || stride < 1 {
+		return 0
+	}
+	if s == 1 {
+		// The pipelined multi-stream round degenerates; use the
+		// single-stream bound.
+		return p.CacheSingleCLI(stride)
+	}
+	dataPerLine := float64(p.Lc) / float64(p.Wp) * float64(p.T.TPack)
+	gap := float64(p.T.TRR)
+	if dataPerLine > gap {
+		gap = dataPerLine
+	}
+	tPipe := float64(p.T.TRAC()) + gap*float64(s-1)                         // Eq 5.4
+	tLast := float64(p.T.TRR)*float64(s-2) + float64(p.T.TRAC()) + p.TLCC() // Eq 5.5
+	useful := p.usefulPerLine(stride)
+	rounds := float64(ls) / useful // line rounds in the computation
+	if rounds < 1 {
+		rounds = 1
+	}
+	cycles := (rounds-1)*tPipe + tLast // Eq 5.6
+	return p.PercentPeakFromT(cycles / (rounds * useful * float64(s)))
+}
+
+// CacheMultiPI bounds a natural-order computation of s unit-stride streams
+// of length ls on a PI open-page system — Equations 5.9-5.11. The printed
+// T_pipe is optimistic (see EXPERIMENTS.md): for small s it approaches the
+// peak rate, which the quoted 8-stream figure (88.68%) shows the authors
+// did not intend; we implement it as printed and cap it with the
+// data-bus-plus-turnaround round bound (s cachelines of data plus one
+// read/write turnaround per round), which reproduces the quoted numbers.
+func (p Params) CacheMultiPI(s, ls int) float64 {
+	return p.CacheMultiPIStrided(s, ls, 1)
+}
+
+// CacheMultiPIStrided generalizes the PI multi-stream bound to strided
+// streams, analogous to CacheMultiCLIStrided.
+func (p Params) CacheMultiPIStrided(s, ls, stride int) float64 {
+	if s < 1 || ls < 1 || stride < 1 {
+		return 0
+	}
+	if s == 1 {
+		return p.CacheSinglePI(stride)
+	}
+	packetsPerLine := float64(p.Lc) / float64(p.Wp)
+	tPipe := p.TLCO() + (packetsPerLine*float64(s-2)+1)*float64(p.T.TPack) // Eq 5.9
+	// Physical floor on the round time: each round moves s cachelines of
+	// data and cycles the bus direction once for the computation's writes.
+	floor := float64(s)*packetsPerLine*float64(p.T.TPack) + float64(p.T.TRW)
+	round := tPipe
+	if round < floor {
+		round = floor
+	}
+	tInit := 2*float64(p.T.TRP) + float64(p.T.TRAC()) + p.TLCC() +
+		(float64(p.T.TRP)+float64(p.T.TRR))*float64(s-2) // Eq 5.10
+	useful := p.usefulPerLine(stride)
+	rounds := float64(ls) / useful
+	if rounds < 1 {
+		rounds = 1
+	}
+	cycles := tInit + (rounds-1)*round // Eq 5.11
+	return p.PercentPeakFromT(cycles / (rounds * useful * float64(s)))
+}
+
+// StartupDelayCLI is Equation 5.16: the time the processor waits for the
+// first element of the last read stream while the MSU prefetches a FIFO's
+// worth of each earlier read stream. sr is the read-stream count, f the
+// FIFO depth in elements.
+func (p Params) StartupDelayCLI(sr, f int) float64 {
+	if sr < 1 {
+		return 0
+	}
+	return float64(sr-1)*float64(f)*float64(p.T.TPack)/float64(p.Wp) + float64(p.T.TRAC())
+}
+
+// StartupDelayPI is Equation 5.17: the CLI startup delay plus the first
+// access's precharge.
+func (p Params) StartupDelayPI(sr, f int) float64 {
+	if sr < 1 {
+		return 0
+	}
+	return p.StartupDelayCLI(sr, f) + float64(p.T.TRP)
+}
+
+// TurnaroundDelay is Equation 5.18: the aggregate read/write bus-turnaround
+// time for the whole computation, t_RW * L_s * (s-1) / (f*s). It is zero
+// for read-only computations.
+func (p Params) TurnaroundDelay(s, sw, f, ls int) float64 {
+	if sw == 0 || s < 1 || f < 1 {
+		return 0
+	}
+	return float64(p.T.TRW) * float64(ls) * float64(s-1) / (float64(f) * float64(s))
+}
+
+// SMCPercent is Equation 5.15: the bandwidth fraction with delta extra
+// cycles of delay over the minimum transfer time for s streams of ls
+// elements.
+func (p Params) SMCPercent(delta float64, s, ls int) float64 {
+	minimum := float64(ls) * p.cyclesPerWordPeak() * float64(s)
+	if minimum <= 0 {
+		return 0
+	}
+	return 100 * minimum / (delta + minimum)
+}
+
+// SMCStartupBound is the startup-delay bound for the given scheme.
+func (p Params) SMCStartupBound(pi bool, sr, sw, f, ls int) float64 {
+	var d float64
+	if pi {
+		d = p.StartupDelayPI(sr, f)
+	} else {
+		d = p.StartupDelayCLI(sr, f)
+	}
+	return p.SMCPercent(d, sr+sw, ls)
+}
+
+// SMCAsymptoticBound is the bus-turnaround (long-vector) bound, identical
+// for CLI and PI (§5.2: RDRAM page-miss times overlap with pipelined
+// operations, so turnaround is the limiting factor).
+func (p Params) SMCAsymptoticBound(sr, sw, f, ls int) float64 {
+	s := sr + sw
+	return p.SMCPercent(p.TurnaroundDelay(s, sw, f, ls), s, ls)
+}
+
+// SMCCombinedBound is the paper's Figure 7 dashed line: the lower envelope
+// of the startup-delay and asymptotic bounds.
+func (p Params) SMCCombinedBound(pi bool, sr, sw, f, ls int) float64 {
+	a := p.SMCStartupBound(pi, sr, sw, f, ls)
+	b := p.SMCAsymptoticBound(sr, sw, f, ls)
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SMCStridedBound extends the SMC bounds to non-unit strides ([11]):
+// elements no longer pack two to a packet, so each element transfers a
+// whole packet and the attainable fraction of peak halves. The result is
+// still a percentage of total peak bandwidth (not of attainable).
+func (p Params) SMCStridedBound(pi bool, sr, sw, f, ls, stride int) float64 {
+	if stride == 1 {
+		return p.SMCCombinedBound(pi, sr, sw, f, ls)
+	}
+	s := sr + sw
+	perWord := float64(p.T.TPack) // one packet per element
+	minimum := float64(ls) * perWord * float64(s)
+	var d1 float64
+	if pi {
+		d1 = p.StartupDelayPI(sr, f)
+	} else {
+		d1 = p.StartupDelayCLI(sr, f)
+	}
+	d2 := p.TurnaroundDelay(s, sw, f, ls)
+	bound := func(d float64) float64 {
+		// Fraction of peak: useful words are half the transferred words.
+		return 100 * (minimum / (d + minimum)) * (p.cyclesPerWordPeak() / perWord)
+	}
+	a, b := bound(d1), bound(d2)
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,159 @@
+// Package cache models a set-associative, write-allocate, write-back
+// processor cache at cacheline granularity. The paper's performance bounds
+// deliberately assume an ideal cache (no conflict misses, free writebacks,
+// §5.1); this model supplies the realistic counterpart, quantifying the §6
+// remark that strided vectors "leave a larger footprint" and generate many
+// cache conflicts under natural-order accesses.
+package cache
+
+import "fmt"
+
+// Config sizes the cache.
+type Config struct {
+	// SizeWords is the total capacity in 64-bit words.
+	SizeWords int
+	// LineWords is the cacheline size in 64-bit words.
+	LineWords int
+	// Ways is the associativity. 1 is direct-mapped; use Sets()==1 for a
+	// fully associative cache.
+	Ways int
+}
+
+// DefaultConfig returns a 16 KB direct-mapped cache with 32-byte lines —
+// a typical L1 of the paper's era.
+func DefaultConfig() Config {
+	return Config{SizeWords: 2048, LineWords: 4, Ways: 1}
+}
+
+// Lines is the total number of cachelines.
+func (c Config) Lines() int { return c.SizeWords / c.LineWords }
+
+// Sets is the number of associative sets.
+func (c Config) Sets() int { return c.Lines() / c.Ways }
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.LineWords <= 0:
+		return fmt.Errorf("cache: LineWords must be positive, got %d", c.LineWords)
+	case c.SizeWords <= 0 || c.SizeWords%c.LineWords != 0:
+		return fmt.Errorf("cache: SizeWords %d must be a positive multiple of LineWords %d", c.SizeWords, c.LineWords)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache: Ways must be positive, got %d", c.Ways)
+	case c.Lines()%c.Ways != 0:
+		return fmt.Errorf("cache: %d lines do not divide into %d ways", c.Lines(), c.Ways)
+	case c.Sets() == 0:
+		return fmt.Errorf("cache: zero sets (capacity smaller than associativity)")
+	}
+	return nil
+}
+
+type way struct {
+	tag     int64
+	valid   bool
+	dirty   bool
+	lastUse int64
+}
+
+// Cache is the model. It tracks presence and dirtiness only; data values
+// live in the memory model (the simulators are functionally decoupled).
+type Cache struct {
+	cfg   Config
+	sets  [][]way
+	clock int64
+
+	hits, misses, evictions, dirtyEvictions int64
+}
+
+// New builds a cache. The configuration must be valid.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := make([][]way, cfg.Sets())
+	for i := range sets {
+		sets[i] = make([]way, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets}, nil
+}
+
+// Result reports the outcome of one cacheline access.
+type Result struct {
+	Hit bool
+	// Evicted is the line index of a displaced valid line, or -1.
+	Evicted int64
+	// EvictedDirty is true when the displaced line must be written back.
+	EvictedDirty bool
+}
+
+// Access touches the cacheline with the given index (address / LineWords),
+// allocating it on a miss (write-allocate for stores and loads alike) and
+// marking it dirty on a write. It returns the hit/eviction outcome; the
+// caller performs the modeled memory traffic.
+func (c *Cache) Access(line int64, write bool) Result {
+	c.clock++
+	set := c.sets[int(line%int64(len(c.sets)))]
+	tag := line / int64(len(c.sets))
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			c.hits++
+			return Result{Hit: true, Evicted: -1}
+		}
+	}
+	c.misses++
+	// Choose the LRU way (or an invalid one).
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	res := Result{Evicted: -1}
+	if set[victim].valid {
+		c.evictions++
+		res.Evicted = set[victim].tag*int64(len(c.sets)) + line%int64(len(c.sets))
+		res.EvictedDirty = set[victim].dirty
+		if set[victim].dirty {
+			c.dirtyEvictions++
+		}
+	}
+	set[victim] = way{tag: tag, valid: true, dirty: write, lastUse: c.clock}
+	return res
+}
+
+// FlushDirty returns every dirty line (in no particular order) and marks
+// the whole cache clean — the end-of-computation writeback sweep.
+func (c *Cache) FlushDirty() []int64 {
+	var out []int64
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			w := &c.sets[s][i]
+			if w.valid && w.dirty {
+				out = append(out, w.tag*int64(len(c.sets))+int64(s))
+				w.dirty = false
+			}
+		}
+	}
+	return out
+}
+
+// Stats returns hit/miss/eviction counters.
+func (c *Cache) Stats() (hits, misses, evictions, dirtyEvictions int64) {
+	return c.hits, c.misses, c.evictions, c.dirtyEvictions
+}
+
+// HitRate is hits / (hits + misses).
+func (c *Cache) HitRate() float64 {
+	if c.hits+c.misses == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.hits+c.misses)
+}

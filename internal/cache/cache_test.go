@@ -1,0 +1,170 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeWords: 0, LineWords: 4, Ways: 1},
+		{SizeWords: 2048, LineWords: 0, Ways: 1},
+		{SizeWords: 2046, LineWords: 4, Ways: 1},
+		{SizeWords: 2048, LineWords: 4, Ways: 0},
+		{SizeWords: 2048, LineWords: 4, Ways: 3},
+		{SizeWords: 8, LineWords: 4, Ways: 4},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, c)
+		}
+	}
+	c := DefaultConfig()
+	if c.Lines() != 512 || c.Sets() != 512 {
+		t.Errorf("lines/sets = %d/%d", c.Lines(), c.Sets())
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c, _ := New(DefaultConfig())
+	if r := c.Access(10, false); r.Hit {
+		t.Error("cold access hit")
+	}
+	if r := c.Access(10, false); !r.Hit {
+		t.Error("second access missed")
+	}
+	if hr := c.HitRate(); hr != 0.5 {
+		t.Errorf("hit rate %v", hr)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	// Two lines mapping to the same set of a direct-mapped cache evict
+	// each other on alternation.
+	c, _ := New(Config{SizeWords: 64, LineWords: 4, Ways: 1}) // 16 sets
+	c.Access(0, true)                                         // dirty
+	r := c.Access(16, false)                                  // same set (16 % 16 == 0)
+	if r.Hit {
+		t.Fatal("conflicting line hit")
+	}
+	if r.Evicted != 0 || !r.EvictedDirty {
+		t.Errorf("evicted %d dirty=%v, want 0/true", r.Evicted, r.EvictedDirty)
+	}
+	if r := c.Access(0, false); r.Hit {
+		t.Error("line 0 survived conflict eviction")
+	}
+}
+
+func TestAssociativityAbsorbsConflicts(t *testing.T) {
+	c2, _ := New(Config{SizeWords: 64, LineWords: 4, Ways: 2}) // 8 sets
+	c2.Access(0, false)
+	c2.Access(8, false) // same set, second way
+	if r := c2.Access(0, false); !r.Hit {
+		t.Error("2-way cache should hold both conflicting lines")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c, _ := New(Config{SizeWords: 32, LineWords: 4, Ways: 2}) // 4 sets
+	c.Access(0, false)                                        // set 0, way A
+	c.Access(4, false)                                        // set 0, way B
+	c.Access(0, false)                                        // touch 0: 4 becomes LRU
+	r := c.Access(8, false)
+	if r.Evicted != 4 {
+		t.Errorf("evicted %d, want the LRU line 4", r.Evicted)
+	}
+	if rr := c.Access(0, false); !rr.Hit {
+		t.Error("MRU line 0 was evicted")
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	c, _ := New(Config{SizeWords: 64, LineWords: 4, Ways: 2})
+	c.Access(3, true)
+	c.Access(5, false)
+	c.Access(9, true)
+	dirty := c.FlushDirty()
+	if len(dirty) != 2 {
+		t.Fatalf("dirty lines = %v", dirty)
+	}
+	seen := map[int64]bool{}
+	for _, l := range dirty {
+		seen[l] = true
+	}
+	if !seen[3] || !seen[9] {
+		t.Errorf("dirty set %v, want {3,9}", seen)
+	}
+	if again := c.FlushDirty(); len(again) != 0 {
+		t.Errorf("second flush returned %v", again)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c, _ := New(Config{SizeWords: 16, LineWords: 4, Ways: 1}) // 4 sets
+	c.Access(0, true)
+	c.Access(4, true)  // evicts 0 (dirty)
+	c.Access(0, false) // evicts 4 (dirty)
+	hits, misses, ev, dirtyEv := c.Stats()
+	if hits != 0 || misses != 3 || ev != 2 || dirtyEv != 2 {
+		t.Errorf("stats = %d/%d/%d/%d", hits, misses, ev, dirtyEv)
+	}
+	empty, _ := New(DefaultConfig())
+	if empty.HitRate() != 0 {
+		t.Error("empty hit rate should be 0")
+	}
+}
+
+// TestEvictionRoundTripProperty: whatever line is reported evicted must be
+// a line that was previously inserted and maps to the same set as the
+// access that evicted it.
+func TestEvictionRoundTripProperty(t *testing.T) {
+	cfg := Config{SizeWords: 128, LineWords: 4, Ways: 2} // 16 sets
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, _ := New(cfg)
+		inserted := map[int64]bool{}
+		for i := 0; i < 500; i++ {
+			line := int64(rng.Intn(200))
+			r := c.Access(line, rng.Intn(2) == 0)
+			if r.Evicted >= 0 {
+				if !inserted[r.Evicted] {
+					return false // evicted something never inserted
+				}
+				if r.Evicted%int64(cfg.Sets()) != line%int64(cfg.Sets()) {
+					return false // evicted from a different set
+				}
+				delete(inserted, r.Evicted)
+			}
+			inserted[line] = true
+			if len(inserted) > cfg.Lines() {
+				return false // more resident lines than capacity
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWorkingSetFitsNoEvictions: a working set no larger than the cache
+// never evicts once warm.
+func TestWorkingSetFitsNoEvictions(t *testing.T) {
+	c, _ := New(Config{SizeWords: 256, LineWords: 4, Ways: 4}) // 64 lines
+	for pass := 0; pass < 3; pass++ {
+		for line := int64(0); line < 64; line++ {
+			r := c.Access(line, false)
+			if pass > 0 && !r.Hit {
+				t.Fatalf("pass %d line %d missed", pass, line)
+			}
+		}
+	}
+	_, _, ev, _ := c.Stats()
+	if ev != 0 {
+		t.Errorf("evictions = %d, want 0", ev)
+	}
+}

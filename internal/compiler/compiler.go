@@ -1,0 +1,183 @@
+// Package compiler implements the software half of the SMC system the
+// paper describes in §3: "The compiler detects the presence of streams (as
+// in [1]) and generates code to transmit information about those streams
+// (base address, stride, number of elements, and whether the stream is
+// being read or written) to the hardware at run time."
+//
+// The input is a small counted-loop IR with affine array references; the
+// output is the stream.Kernel the rest of the library consumes. The pass
+// performs the recognition steps of a Benitez/Davidson-style access/execute
+// scheme: induction-variable analysis is implicit in the IR (one loop
+// index), references must be affine in it, reads are ordered before
+// writes, and read-modify-write references become a read stream plus a
+// write stream of the same vector.
+package compiler
+
+import (
+	"fmt"
+
+	"rdramstream/internal/stream"
+)
+
+// Ref is one array reference in the loop body: Array[Scale*i + Offset],
+// where i is the loop index. Scale and Offset are in elements.
+type Ref struct {
+	Array  string
+	Scale  int64
+	Offset int64
+	Write  bool
+}
+
+// Loop is the counted inner loop: for i = 0; i < N; i++ { body }.
+// Body lists the references in program order; Compute gives the loop's
+// arithmetic over the values read (in the order of the read references),
+// producing the values written (in the order of the write references).
+type Loop struct {
+	N       int
+	Body    []Ref
+	Compute func(i int, in []float64) []float64
+}
+
+// Binding maps array names to base word addresses, the run-time
+// information the compiled code combines with the static stream shapes.
+type Binding map[string]int64
+
+// StreamInfo is one detected stream: the descriptor the compiler transmits
+// to the SMC, plus which reference it came from.
+type StreamInfo struct {
+	Ref    Ref
+	Stride int64 // element stride in words (== Scale, elements are words here)
+}
+
+// Detect analyzes the loop and reports the stream set, or an explanation
+// of why the loop is not streamable. Rules:
+//
+//   - at least one reference, and a positive trip count;
+//   - every reference affine with positive Scale (Scale 0 is a scalar —
+//     hoisted to a register, not a stream; negative strides are not
+//     supported by this SMC);
+//   - all references share one Scale (the paper's models assume equal
+//     strides);
+//   - reads precede writes in the body (the iteration's data flow);
+//   - no two references to the same array may overlap element sets unless
+//     they are the classic read-modify-write pair (identical Scale and
+//     Offset, one read one write).
+func Detect(l Loop) ([]StreamInfo, error) {
+	if l.N <= 0 {
+		return nil, fmt.Errorf("compiler: trip count %d", l.N)
+	}
+	if len(l.Body) == 0 {
+		return nil, fmt.Errorf("compiler: empty loop body")
+	}
+	if l.Compute == nil {
+		return nil, fmt.Errorf("compiler: loop has no computation")
+	}
+	var scale int64
+	seenWrite := false
+	var infos []StreamInfo
+	for idx, r := range l.Body {
+		if r.Scale <= 0 {
+			return nil, fmt.Errorf("compiler: reference %d (%s) has non-positive scale %d: scalars belong in registers and negative strides are unsupported", idx, r.Array, r.Scale)
+		}
+		if scale == 0 {
+			scale = r.Scale
+		} else if r.Scale != scale {
+			return nil, fmt.Errorf("compiler: reference %d (%s) scale %d differs from loop scale %d", idx, r.Array, r.Scale, scale)
+		}
+		if r.Write {
+			seenWrite = true
+		} else if seenWrite {
+			return nil, fmt.Errorf("compiler: read of %s after a write; reorder the body reads-first", r.Array)
+		}
+		infos = append(infos, StreamInfo{Ref: r, Stride: r.Scale})
+	}
+	// Overlap check per array.
+	for i := 0; i < len(l.Body); i++ {
+		for j := i + 1; j < len(l.Body); j++ {
+			a, b := l.Body[i], l.Body[j]
+			if a.Array != b.Array {
+				continue
+			}
+			if a.Offset == b.Offset {
+				if a.Write == b.Write {
+					return nil, fmt.Errorf("compiler: duplicate %s reference to %s[%d*i%+d]", mode(a.Write), a.Array, a.Scale, a.Offset)
+				}
+				continue // read-modify-write pair
+			}
+			// Distinct offsets with the same scale touch disjoint element
+			// sets only if the offset difference is not a multiple of ...
+			// they always interleave within the same vector; that is fine
+			// for reads (hydro reads zx[i+10] and zx[i+11]) but a write
+			// racing another reference at a different offset is a loop-
+			// carried dependence this SMC cannot reorder safely.
+			if a.Write || b.Write {
+				return nil, fmt.Errorf("compiler: loop-carried dependence on %s (offsets %d and %d)", a.Array, a.Offset, b.Offset)
+			}
+		}
+	}
+	return infos, nil
+}
+
+func mode(w bool) string {
+	if w {
+		return "write"
+	}
+	return "read"
+}
+
+// Compile detects the loop's streams and binds them to base addresses,
+// producing the kernel handed to the controllers. Every array in the body
+// must be bound.
+func Compile(l Loop, bind Binding) (*stream.Kernel, error) {
+	infos, err := Detect(l)
+	if err != nil {
+		return nil, err
+	}
+	k := &stream.Kernel{Name: "compiled-loop", Compute: l.Compute}
+	for _, info := range infos {
+		base, ok := bind[info.Ref.Array]
+		if !ok {
+			return nil, fmt.Errorf("compiler: array %q is not bound to an address", info.Ref.Array)
+		}
+		m := stream.Read
+		if info.Ref.Write {
+			m = stream.Write
+		}
+		// Array[Scale*i + Offset]: element addresses base+Offset+Scale*i.
+		k.Streams = append(k.Streams, stream.Stream{
+			Name:   info.Ref.Array,
+			Base:   base + info.Ref.Offset,
+			Stride: info.Stride,
+			Length: l.N,
+			Mode:   m,
+		})
+	}
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: produced an invalid kernel: %w", err)
+	}
+	return k, nil
+}
+
+// Footprints returns the words of memory each distinct array needs for
+// the loop, in first-appearance order, plus the array order — the shape a
+// caller feeds to stream.Layout before binding.
+func Footprints(l Loop) (names []string, words []int64, err error) {
+	infos, err := Detect(l)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := map[string]int{}
+	for _, info := range infos {
+		need := info.Stride*int64(l.N-1) + info.Ref.Offset + 1
+		if i, ok := idx[info.Ref.Array]; ok {
+			if need > words[i] {
+				words[i] = need
+			}
+			continue
+		}
+		idx[info.Ref.Array] = len(names)
+		names = append(names, info.Ref.Array)
+		words = append(words, need)
+	}
+	return names, words, nil
+}

@@ -1,0 +1,195 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/natorder"
+	"rdramstream/internal/rdram"
+	"rdramstream/internal/sim"
+	"rdramstream/internal/smc"
+	"rdramstream/internal/stream"
+)
+
+// daxpyLoop is the IR form of y[i] = a*x[i] + y[i].
+func daxpyLoop(n int) Loop {
+	return Loop{
+		N: n,
+		Body: []Ref{
+			{Array: "x", Scale: 1},
+			{Array: "y", Scale: 1},
+			{Array: "y", Scale: 1, Write: true},
+		},
+		Compute: func(_ int, in []float64) []float64 { return []float64{2*in[0] + in[1]} },
+	}
+}
+
+// hydroLoop is the IR form of the Livermore hydro fragment.
+func hydroLoop(n int) Loop {
+	return Loop{
+		N: n,
+		Body: []Ref{
+			{Array: "y", Scale: 1},
+			{Array: "zx", Scale: 1, Offset: 10},
+			{Array: "zx", Scale: 1, Offset: 11},
+			{Array: "x", Scale: 1, Write: true},
+		},
+		Compute: func(_ int, in []float64) []float64 {
+			return []float64{0.5 + in[0]*(2*in[1]+3*in[2])}
+		},
+	}
+}
+
+func TestDetectDaxpy(t *testing.T) {
+	infos, err := Detect(daxpyLoop(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("streams = %d", len(infos))
+	}
+	if infos[0].Ref.Array != "x" || infos[0].Ref.Write {
+		t.Errorf("first stream = %+v", infos[0])
+	}
+	if !infos[2].Ref.Write {
+		t.Error("third stream should be the write")
+	}
+}
+
+func TestDetectRejections(t *testing.T) {
+	ok := daxpyLoop(64)
+	cases := []struct {
+		name   string
+		mutate func(*Loop)
+		want   string
+	}{
+		{"zero trip", func(l *Loop) { l.N = 0 }, "trip count"},
+		{"empty body", func(l *Loop) { l.Body = nil }, "empty"},
+		{"nil compute", func(l *Loop) { l.Compute = nil }, "computation"},
+		{"scalar ref", func(l *Loop) { l.Body[0].Scale = 0 }, "scale"},
+		{"negative stride", func(l *Loop) { l.Body[0].Scale = -1 }, "scale"},
+		{"mixed strides", func(l *Loop) { l.Body[1].Scale = 2; l.Body[2].Scale = 2 }, "differs"},
+		{"read after write", func(l *Loop) {
+			l.Body = []Ref{{Array: "y", Scale: 1, Write: true}, {Array: "x", Scale: 1}}
+		}, "after a write"},
+		{"duplicate read", func(l *Loop) {
+			l.Body = []Ref{{Array: "x", Scale: 1}, {Array: "x", Scale: 1}, {Array: "y", Scale: 1, Write: true}}
+		}, "duplicate"},
+		{"carried dependence", func(l *Loop) {
+			l.Body = []Ref{{Array: "y", Scale: 1, Offset: 1}, {Array: "y", Scale: 1, Write: true}}
+		}, "dependence"},
+	}
+	for _, c := range cases {
+		l := ok
+		l.Body = append([]Ref(nil), ok.Body...)
+		c.mutate(&l)
+		_, err := Detect(l)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDetectAllowsOffsetReads(t *testing.T) {
+	// hydro's zx[i+10] and zx[i+11] are legal: overlapping reads.
+	if _, err := Detect(hydroLoop(64)); err != nil {
+		t.Fatalf("hydro should be streamable: %v", err)
+	}
+}
+
+func TestFootprints(t *testing.T) {
+	names, words, err := Footprints(hydroLoop(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "y" || names[1] != "zx" || names[2] != "x" {
+		t.Fatalf("names = %v", names)
+	}
+	// zx needs elements up to index 99+11.
+	if words[1] != 111 {
+		t.Errorf("zx footprint = %d, want 111", words[1])
+	}
+	if words[0] != 100 || words[2] != 100 {
+		t.Errorf("footprints = %v", words)
+	}
+}
+
+func TestCompileRequiresBindings(t *testing.T) {
+	l := daxpyLoop(64)
+	if _, err := Compile(l, Binding{"x": 0}); err == nil || !strings.Contains(err.Error(), "not bound") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestCompiledLoopRunsEndToEnd is the full §3 software path: detect the
+// streams of an IR loop, lay out its arrays, bind them, and run the
+// compiled kernel through both controllers with functional verification.
+func TestCompiledLoopRunsEndToEnd(t *testing.T) {
+	for _, mode := range []sim.Mode{sim.NaturalOrder, sim.SMC} {
+		l := hydroLoop(256)
+		names, words, err := Footprints(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := rdram.DefaultGeometry()
+		bases, err := stream.Layout(addrmap.PI, g, 4, words, stream.Staggered)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bind := Binding{}
+		for i, name := range names {
+			bind[name] = bases[i]
+		}
+		k, err := Compile(l, bind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sim.RunKernel(k, sim.Scenario{
+			Scheme: addrmap.PI, Mode: mode, FIFODepth: 64, Placement: stream.Staggered,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !out.Verified {
+			t.Errorf("%v: compiled loop not verified", mode)
+		}
+		if out.UsefulWords != 4*256 {
+			t.Errorf("%v: UsefulWords = %d", mode, out.UsefulWords)
+		}
+	}
+}
+
+// TestCompiledMatchesHandWritten: the compiled daxpy must produce exactly
+// the same schedule as the hand-built stream.Daxpy kernel.
+func TestCompiledMatchesHandWritten(t *testing.T) {
+	g := rdram.DefaultGeometry()
+	f, _ := stream.FactoryByName("daxpy")
+	bases := stream.MustLayout(addrmap.CLI, g, 4, f.Footprints(512, 1), stream.Staggered)
+	hand := stream.Daxpy(2, bases[0], bases[1], 512, 1)
+
+	l := daxpyLoop(512)
+	compiled, err := Compile(l, Binding{"x": bases[0], "y": bases[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(k *stream.Kernel) (int64, float64) {
+		dev := rdram.NewDevice(rdram.DefaultConfig())
+		res, err := smc.Run(dev, k, smc.Config{Scheme: addrmap.CLI, LineWords: 4, FIFODepth: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles, res.PercentPeak
+	}
+	hc, hp := run(hand)
+	cc, cp := run(compiled)
+	if hc != cc || hp != cp {
+		t.Errorf("compiled (%d cyc, %.2f%%) differs from hand-written (%d cyc, %.2f%%)", cc, cp, hc, hp)
+	}
+
+	dev := rdram.NewDevice(rdram.DefaultConfig())
+	if _, err := natorder.Run(dev, compiled, natorder.Config{Scheme: addrmap.CLI, LineWords: 4}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+// Package dram models the conventional DRAM families the paper's Figure 1
+// compares against Direct RDRAM: fast-page-mode, EDO, Burst-EDO, and
+// SDRAM. The model is the classic page-mode timing budget — a row access
+// (t_RAC) followed by page-mode column cycles (t_PC) — which is exactly
+// the level of detail Figure 1 carries, and enough to regenerate the
+// table and to put the paper's motivation ("DRAM speeds are not keeping
+// up") in numbers.
+package dram
+
+import "fmt"
+
+// Spec holds one device family's Figure 1 timing parameters, in
+// nanoseconds, plus its data-bus geometry.
+type Spec struct {
+	Name string
+	// TRAC is the row access time: address strobe to data valid (ns).
+	TRAC float64
+	// TCAC is the column access time (ns).
+	TCAC float64
+	// TRC is the random read/write cycle time (ns).
+	TRC float64
+	// TPC is the page-mode cycle time: consecutive column accesses to the
+	// open row (ns). For Direct RDRAM this is the packet transfer time.
+	TPC float64
+	// MaxMHz is the maximum interface frequency from Figure 1.
+	MaxMHz float64
+	// BusBytes is the width of the data interface in bytes, and
+	// TransfersPerClock its data rate multiplier (2 for the DDR Rambus
+	// channel, 1 otherwise).
+	BusBytes          int
+	TransfersPerClock int
+	// BytesPerColumn is the data delivered by one column access/packet.
+	BytesPerColumn int
+}
+
+// Catalog reproduces the paper's Figure 1, in its column order. Classic
+// parts are modeled as a 64-bit (8-byte) memory module built from x8
+// devices — the commodity organization of the era — while the Direct
+// RDRAM entry is the single 16-bit 800 MT/s device the paper studies.
+func Catalog() []Spec {
+	return []Spec{
+		{Name: "Fast-Page Mode", TRAC: 50, TCAC: 13, TRC: 95, TPC: 30, MaxMHz: 33, BusBytes: 8, TransfersPerClock: 1, BytesPerColumn: 8},
+		{Name: "EDO", TRAC: 50, TCAC: 13, TRC: 89, TPC: 20, MaxMHz: 50, BusBytes: 8, TransfersPerClock: 1, BytesPerColumn: 8},
+		{Name: "Burst-EDO", TRAC: 52, TCAC: 10, TRC: 90, TPC: 15, MaxMHz: 66, BusBytes: 8, TransfersPerClock: 1, BytesPerColumn: 8},
+		{Name: "SDRAM", TRAC: 50, TCAC: 9, TRC: 100, TPC: 10, MaxMHz: 100, BusBytes: 8, TransfersPerClock: 1, BytesPerColumn: 8},
+		{Name: "Direct RDRAM", TRAC: 50, TCAC: 20, TRC: 85, TPC: 10, MaxMHz: 400, BusBytes: 2, TransfersPerClock: 2, BytesPerColumn: 16},
+	}
+}
+
+// RambusGenerations models the three RDRAM generations the paper's §2.2
+// describes: Base (8/9-bit bus at 250-300 MHz, 500-600 MB/s), Concurrent
+// (same peak, better utilization via concurrent transactions), and Direct
+// (16/18-bit bus at 400 MHz DDR, 1.6 GB/s). Core latencies are the
+// commodity DRAM core's; the generations differ in interface bandwidth.
+func RambusGenerations() []Spec {
+	return []Spec{
+		{Name: "Base RDRAM", TRAC: 50, TCAC: 26, TRC: 85, TPC: 13.3, MaxMHz: 300, BusBytes: 1, TransfersPerClock: 2, BytesPerColumn: 8},
+		{Name: "Concurrent RDRAM", TRAC: 50, TCAC: 24, TRC: 85, TPC: 13.3, MaxMHz: 300, BusBytes: 1, TransfersPerClock: 2, BytesPerColumn: 8},
+		{Name: "Direct RDRAM", TRAC: 50, TCAC: 20, TRC: 85, TPC: 10, MaxMHz: 400, BusBytes: 2, TransfersPerClock: 2, BytesPerColumn: 16},
+	}
+}
+
+// ByName finds a catalog entry (searching the Figure 1 catalog first,
+// then the Rambus generations).
+func ByName(name string) (Spec, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range RambusGenerations() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// PeakMBps is the device's peak transfer rate in MB/s: one column's worth
+// of data per page-mode cycle.
+func (s Spec) PeakMBps() float64 {
+	return float64(s.BytesPerColumn) / s.TPC * 1000
+}
+
+// StreamMBps is the sustained rate for page-mode bursts of burstBytes from
+// a fresh row: t_RAC for the first column, t_PC for each subsequent one.
+func (s Spec) StreamMBps(burstBytes int) float64 {
+	cols := burstBytes / s.BytesPerColumn
+	if cols < 1 {
+		cols = 1
+	}
+	ns := s.TRAC + float64(cols-1)*s.TPC
+	return float64(cols*s.BytesPerColumn) / ns * 1000
+}
+
+// RandomMBps is the rate for isolated accesses, one column per random
+// cycle time t_RC.
+func (s Spec) RandomMBps() float64 {
+	return float64(s.BytesPerColumn) / s.TRC * 1000
+}
+
+// PageHitLatencyNs and PageMissLatencyNs expose the basic latencies.
+func (s Spec) PageHitLatencyNs() float64  { return s.TCAC }
+func (s Spec) PageMissLatencyNs() float64 { return s.TRAC }
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s: tRAC=%.0fns tCAC=%.0fns tRC=%.0fns tPC=%.0fns %.0fMHz peak=%.0fMB/s",
+		s.Name, s.TRAC, s.TCAC, s.TRC, s.TPC, s.MaxMHz, s.PeakMBps())
+}

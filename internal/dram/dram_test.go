@@ -1,0 +1,130 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogMatchesFigure1(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 5 {
+		t.Fatalf("catalog has %d entries, want 5", len(cat))
+	}
+	checks := []struct {
+		name                 string
+		trac, tcac, trc, tpc float64
+		mhz                  float64
+	}{
+		{"Fast-Page Mode", 50, 13, 95, 30, 33},
+		{"EDO", 50, 13, 89, 20, 50},
+		{"Burst-EDO", 52, 10, 90, 15, 66},
+		{"SDRAM", 50, 9, 100, 10, 100},
+		{"Direct RDRAM", 50, 20, 85, 10, 400},
+	}
+	for i, c := range checks {
+		s := cat[i]
+		if s.Name != c.name || s.TRAC != c.trac || s.TCAC != c.tcac || s.TRC != c.trc || s.TPC != c.tpc || s.MaxMHz != c.mhz {
+			t.Errorf("entry %d = %+v, want %+v", i, s, c)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if s, ok := ByName("SDRAM"); !ok || s.Name != "SDRAM" {
+		t.Error("SDRAM lookup failed")
+	}
+	if _, ok := ByName("DDR5"); ok {
+		t.Error("unexpected entry")
+	}
+}
+
+func TestDirectRDRAMPeakIs1600MBps(t *testing.T) {
+	s, _ := ByName("Direct RDRAM")
+	if got := s.PeakMBps(); got != 1600 {
+		t.Errorf("Direct RDRAM peak = %v MB/s, want 1600", got)
+	}
+}
+
+func TestPeakOrderingMatchesGenerations(t *testing.T) {
+	cat := Catalog()
+	for i := 1; i < len(cat); i++ {
+		if cat[i].PeakMBps() <= cat[i-1].PeakMBps() {
+			t.Errorf("%s peak %.0f not above %s peak %.0f",
+				cat[i].Name, cat[i].PeakMBps(), cat[i-1].Name, cat[i-1].PeakMBps())
+		}
+	}
+}
+
+func TestStreamBandwidthGrowsWithBurst(t *testing.T) {
+	for _, s := range Catalog() {
+		small := s.StreamMBps(32)
+		big := s.StreamMBps(1024)
+		if big <= small {
+			t.Errorf("%s: burst 1024 (%.0f) not above burst 32 (%.0f)", s.Name, big, small)
+		}
+		if big >= s.PeakMBps() {
+			t.Errorf("%s: stream rate %.0f should stay below peak %.0f", s.Name, big, s.PeakMBps())
+		}
+		if s.RandomMBps() >= small {
+			t.Errorf("%s: random rate %.0f should trail small bursts %.0f", s.Name, s.RandomMBps(), small)
+		}
+	}
+}
+
+func TestStreamMBpsTinyBurst(t *testing.T) {
+	s, _ := ByName("SDRAM")
+	// A burst smaller than one column still pays one column.
+	if got, want := s.StreamMBps(4), float64(8)/50*1000; got != want {
+		t.Errorf("tiny burst = %v, want %v", got, want)
+	}
+}
+
+func TestLatencyAccessorsAndString(t *testing.T) {
+	s, _ := ByName("EDO")
+	if s.PageHitLatencyNs() != 13 || s.PageMissLatencyNs() != 50 {
+		t.Error("latency accessors wrong")
+	}
+	if str := s.String(); !strings.Contains(str, "EDO") || !strings.Contains(str, "tRAC=50ns") {
+		t.Errorf("unexpected String: %s", str)
+	}
+}
+
+func TestRDRAMHasHighestStreamRateDespiteWorseTCAC(t *testing.T) {
+	// The paper's point: the Rambus part's page-hit latency is worse than
+	// SDRAM's, but its transfer rate dwarfs everything for streams.
+	rd, _ := ByName("Direct RDRAM")
+	sd, _ := ByName("SDRAM")
+	if rd.TCAC <= sd.TCAC {
+		t.Skip("catalog changed")
+	}
+	if rd.StreamMBps(1024) <= sd.StreamMBps(1024) {
+		t.Errorf("RDRAM stream %.0f should beat SDRAM %.0f", rd.StreamMBps(1024), sd.StreamMBps(1024))
+	}
+}
+
+func TestRambusGenerations(t *testing.T) {
+	gens := RambusGenerations()
+	if len(gens) != 3 {
+		t.Fatalf("generations = %d", len(gens))
+	}
+	// §2.2: Base/Concurrent deliver 500-600 MB/s; Direct 1600 MB/s.
+	base, direct := gens[0], gens[2]
+	if p := base.PeakMBps(); p < 500 || p > 650 {
+		t.Errorf("Base RDRAM peak = %.0f MB/s, want 500-600", p)
+	}
+	if direct.PeakMBps() != 1600 {
+		t.Errorf("Direct peak = %.0f", direct.PeakMBps())
+	}
+	// Base and Concurrent share peak bandwidth (the paper: Concurrent's
+	// gain is protocol utilization, beyond this simple model); Direct
+	// roughly triples the streaming rate.
+	if gens[1].StreamMBps(1024) < gens[0].StreamMBps(1024) {
+		t.Error("Concurrent should not stream slower than Base")
+	}
+	if direct.StreamMBps(1024) < 2*base.StreamMBps(1024) {
+		t.Errorf("Direct stream %.0f should dwarf Base %.0f", direct.StreamMBps(1024), base.StreamMBps(1024))
+	}
+	if _, ok := ByName("Concurrent RDRAM"); !ok {
+		t.Error("generation lookup failed")
+	}
+}

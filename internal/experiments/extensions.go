@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/cache"
+	"rdramstream/internal/fpm"
+	"rdramstream/internal/natorder"
+	"rdramstream/internal/rdram"
+	"rdramstream/internal/sim"
+	"rdramstream/internal/smc"
+	"rdramstream/internal/stream"
+	"rdramstream/internal/workload"
+)
+
+// ChannelScaling measures how populating the Rambus channel with more
+// RDRAM chips changes each configuration — the paper studies a single
+// device and attributes Crisp's reported 95% efficiency to multi-device
+// systems; this experiment quantifies that gap. Device-local t_RR and
+// write-retire constraints relax with more chips while the shared DATA
+// bus stays the bottleneck.
+func ChannelScaling() (*Table, error) {
+	t := &Table{
+		Title:  "Channel scaling — daxpy, 1024 elements, % of peak vs devices on the channel",
+		Header: []string{"devices", "banks", "CLI cache", "CLI SMC", "PI cache", "PI SMC"},
+		Notes:  []string{"one 1.6 GB/s channel; banks grow with the chip count, device-local tRR relaxes"},
+	}
+	for _, devices := range []int{1, 2, 4, 8} {
+		devCfg := rdram.DefaultConfig()
+		devCfg.Geometry.Banks *= devices
+		devCfg.Geometry.DevicesOnChannel = devices
+		row := []string{fmt.Sprintf("%d", devices), fmt.Sprintf("%d", devCfg.Geometry.Banks)}
+		for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+			for _, mode := range []sim.Mode{sim.NaturalOrder, sim.SMC} {
+				out, err := sim.Run(sim.Scenario{
+					KernelName: "daxpy", N: 1024, Scheme: scheme, Mode: mode,
+					FIFODepth: 64, Placement: stream.Staggered,
+					Device: devCfg, SkipVerify: true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f1(out.PercentPeak))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// WritebackAblation quantifies §6's closing remark: the paper's bounds
+// ignore store-miss fetches and dirty writebacks; modeling them
+// (write-allocate) widens the SMC's advantage.
+func WritebackAblation() (*Table, error) {
+	t := &Table{
+		Title:  "Writeback ablation — natural-order controller, 1024 elements (% of peak)",
+		Header: []string{"kernel", "scheme", "direct store", "write-allocate", "SMC (fifo 128)"},
+		Notes:  []string{"'direct store' is the paper's optimistic model; write-allocate fetches store lines and writes back on eviction"},
+	}
+	for _, kn := range Figure7Kernels {
+		for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+			base := sim.Scenario{KernelName: kn, N: 1024, Scheme: scheme,
+				Placement: stream.Staggered, SkipVerify: true}
+			direct := base
+			direct.Mode = sim.NaturalOrder
+			wa := direct
+			wa.WriteAllocate = true
+			smcSc := base
+			smcSc.Mode = sim.SMC
+			smcSc.FIFODepth = 128
+			var cells []string
+			for _, sc := range []sim.Scenario{direct, wa, smcSc} {
+				out, err := sim.Run(sc)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, f1(out.PercentPeak))
+			}
+			t.Rows = append(t.Rows, append([]string{kn, scheme.String()}, cells...))
+		}
+	}
+	return t, nil
+}
+
+// RefreshAblation measures the refresh overhead the paper's models ignore.
+func RefreshAblation() (*Table, error) {
+	t := &Table{
+		Title:  "Refresh ablation — daxpy SMC, PI, 4096 elements (% of peak)",
+		Header: []string{"refresh interval (cycles)", "% peak", "refreshes"},
+		Notes:  []string{"the paper ignores refresh; a 64 ms/8K-row budget is ~3000 cycles between row refreshes"},
+	}
+	for _, interval := range []int64{0, 12000, 6000, 3000, 1500} {
+		devCfg := rdram.DefaultConfig()
+		devCfg.RefreshInterval = interval
+		out, err := sim.Run(sim.Scenario{
+			KernelName: "daxpy", N: 4096, Scheme: addrmap.PI, Mode: sim.SMC,
+			FIFODepth: 64, Placement: stream.Staggered, Device: devCfg, SkipVerify: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := "off"
+		if interval > 0 {
+			label = fmt.Sprintf("%d", interval)
+		}
+		t.Rows = append(t.Rows, []string{label, f1(out.PercentPeak), fmt.Sprintf("%d", out.Device.Refreshes)})
+	}
+	return t, nil
+}
+
+// CacheConflictAblation quantifies the §6 remark the paper leaves open:
+// "using natural-order cacheline accesses ... is likely to generate many
+// cache conflicts, because the vectors leave a larger footprint. Measuring
+// the negative performance impact of these conflicts is beyond the scope
+// of this study." We measure it: daxpy through an ideal cache (the paper's
+// bound model), through a 16 KB direct-mapped and a 2-way cache — with a
+// benign layout and with a pathological one whose vector bases collide in
+// the cache — against the SMC, which bypasses the cache entirely.
+func CacheConflictAblation() (*Table, error) {
+	t := &Table{
+		Title:  "Cache-conflict ablation — daxpy, 1024 elements, CLI (% of peak)",
+		Header: []string{"layout", "ideal buffers", "16KB direct-mapped", "16KB 2-way", "SMC (fifo 128)"},
+		Notes:  []string{"'colliding' places the two vectors a cache-size multiple apart; the SMC is layout-insensitive here"},
+	}
+	const n = 1024
+	layouts := []struct {
+		name  string
+		bases []int64
+	}{
+		{"benign", nil},                     // library layout
+		{"colliding", []int64{0, 8 * 2048}}, // congruent mod the 2048-word cache
+	}
+	for _, layout := range layouts {
+		bases := layout.bases
+		if bases == nil {
+			g := rdram.DefaultGeometry()
+			var err error
+			bases, err = stream.Layout(addrmap.CLI, g, 4, []int64{n, n}, stream.Staggered)
+			if err != nil {
+				return nil, err
+			}
+		}
+		k := stream.Daxpy(3, bases[0], bases[1], n, 1)
+		row := []string{layout.name}
+		for _, cfg := range []natorder.Config{
+			{Scheme: addrmap.CLI, LineWords: 4},
+			{Scheme: addrmap.CLI, LineWords: 4, Cache: &cache.Config{SizeWords: 2048, LineWords: 4, Ways: 1}},
+			{Scheme: addrmap.CLI, LineWords: 4, Cache: &cache.Config{SizeWords: 2048, LineWords: 4, Ways: 2}},
+		} {
+			dev := rdram.NewDevice(rdram.DefaultConfig())
+			res, err := natorder.Run(dev, k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f1(res.PercentPeak))
+		}
+		dev := rdram.NewDevice(rdram.DefaultConfig())
+		smcRes, err := smc.Run(dev, k, smc.Config{Scheme: addrmap.CLI, LineWords: 4, FIFODepth: 128})
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, f1(smcRes.PercentPeak))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// PolicyCross explores the two interleaving/precharge pairings the paper
+// excludes from its design space (§4: CLI+closed and PI+open "represent
+// two extreme points ... both employed in real system designs"): what do
+// CLI+open and PI+closed look like for a streaming kernel?
+func PolicyCross() (*Table, error) {
+	t := &Table{
+		Title:  "Precharge-policy cross — daxpy natural order, 1024 elements (% of peak)",
+		Header: []string{"interleave", "closed page", "open page"},
+		Notes:  []string{"the paper pairs CLI+closed and PI+open; the crosses quantify why"},
+	}
+	for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+		row := []string{scheme.String()}
+		for _, pol := range []natorder.PagePolicy{natorder.ForceClosed, natorder.ForceOpen} {
+			g := rdram.DefaultGeometry()
+			f, _ := stream.FactoryByName("daxpy")
+			bases, err := stream.Layout(scheme, g, 4, f.Footprints(1024, 1), stream.Staggered)
+			if err != nil {
+				return nil, err
+			}
+			k := f.Make(bases, 1024, 1)
+			dev := rdram.NewDevice(rdram.DefaultConfig())
+			res, err := natorder.Run(dev, k, natorder.Config{Scheme: scheme, LineWords: 4, Policy: pol})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f1(res.PercentPeak))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// CrispEfficiency contrasts the paper's single-device streaming study with
+// the context of Crisp's "near 95% efficiency" claim the paper cites: more
+// random access patterns on a channel with many devices. Patterns come
+// from internal/workload; efficiency counts all transferred cachelines as
+// demanded (no stream semantics).
+func CrispEfficiency() (*Table, error) {
+	t := &Table{
+		Title:  "Random-workload efficiency — % of peak, conventional pipelined controller",
+		Header: []string{"pattern", "scheme", "1 device", "8 devices", "hit rate (8 dev)"},
+		Notes:  []string{"reproduces the §6 explanation for Crisp's 95% multimedia-PC efficiency vs this paper's single-device streaming numbers"},
+	}
+	for _, pattern := range []workload.Pattern{workload.Sequential, workload.RandomUniform, workload.HotPages} {
+		for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+			row := []string{pattern.String(), scheme.String()}
+			var lastHit float64
+			for _, devices := range []int{1, 8} {
+				devCfg := rdram.DefaultConfig()
+				devCfg.Geometry.Banks *= devices
+				devCfg.Geometry.DevicesOnChannel = devices
+				dev := rdram.NewDevice(devCfg)
+				res, err := workload.Run(dev, workload.Config{
+					Pattern: pattern, Requests: 6000, LineWords: 4,
+					Scheme: scheme, ReadFraction: 0.75, Seed: 11,
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f1(res.PercentPeak))
+				lastHit = res.HitRate
+			}
+			row = append(row, f2(lastHit))
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// PriorSystem reproduces the §3 fast-page-mode SMC results the paper's
+// methodology was validated against: daxpy on two banks of FPM DRAM, with
+// the i860's three access paths (serial non-caching loads, natural-order
+// caching, and the SMC), across strides. The paper reports the SMC
+// exploiting >90% of attainable bandwidth with speedups of 2-13x over
+// caching and up to ~23x over non-caching.
+func PriorSystem() (*Table, error) {
+	t := &Table{
+		Title:  "Prior FPM system (§3) — daxpy on 2-bank fast-page-mode DRAM",
+		Header: []string{"stride", "SMC % attainable", "SMC hit rate", "speedup vs caching", "speedup vs non-caching"},
+		Notes:  []string{"paper: SMC >90% attainable; 2-13x over caching; up to 23x over non-caching"},
+	}
+	region := int64(fpm.DefaultGeometry().Banks*fpm.DefaultGeometry().PageWords) * 64
+	for _, stride := range []int64{1, 2, 4, 8, 16} {
+		k := stream.Daxpy(2, 0, region, 2048, stride)
+		smcRes, err := fpm.Run(fpm.DefaultConfig(), k, fpm.RunConfig{Mode: fpm.SMCMode, FIFODepth: 64})
+		if err != nil {
+			return nil, err
+		}
+		cacheRes, err := fpm.Run(fpm.DefaultConfig(), k, fpm.RunConfig{Mode: fpm.Caching, LineWords: 4})
+		if err != nil {
+			return nil, err
+		}
+		nonRes, err := fpm.Run(fpm.DefaultConfig(), k, fpm.RunConfig{Mode: fpm.NonCaching})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", stride),
+			f1(smcRes.PercentAttainable), f2(smcRes.HitRate),
+			f2(cacheRes.CyclesPerWord / smcRes.CyclesPerWord),
+			f2(nonRes.CyclesPerWord / smcRes.CyclesPerWord),
+		})
+	}
+	return t, nil
+}
+
+// Chart renders a Figure 7 panel as an ASCII line chart: percentage of
+// peak (y) against FIFO depth (x), with the four paper series.
+func (p *Panel) Chart() string {
+	const height = 20
+	width := len(p.Depths)*8 + 8
+	grid := make([][]byte, height+1)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(col int, val float64, mark byte) {
+		row := height - int(val/100*float64(height)+0.5)
+		if row < 0 {
+			row = 0
+		}
+		if row > height {
+			row = height
+		}
+		x := 8 + col*8
+		if grid[row][x] == ' ' || grid[row][x] == mark {
+			grid[row][x] = mark
+		} else {
+			grid[row][x] = '*' // collision of two series
+		}
+	}
+	for i := range p.Depths {
+		plot(i, p.CombinedLimit[i], 'L')
+		plot(i, p.Staggered[i], 'S')
+		plot(i, p.Aligned[i], 'A')
+		plot(i, p.CacheLimit, 'C')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %v %d elements — %% peak vs FIFO depth\n", p.Kernel, p.Scheme, p.N)
+	for i, row := range grid {
+		pct := 100 - i*100/height
+		fmt.Fprintf(&b, "%3d%% |%s\n", pct, string(row))
+	}
+	b.WriteString("     +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("\n      ")
+	for _, d := range p.Depths {
+		fmt.Fprintf(&b, "%8d", d)
+	}
+	b.WriteString("\n      L=SMC combined limit  S=SMC staggered  A=SMC aligned  C=cache limit  *=overlap\n")
+	return b.String()
+}

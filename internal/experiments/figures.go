@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/analytic"
+	"rdramstream/internal/dram"
+	"rdramstream/internal/natorder"
+	"rdramstream/internal/rdram"
+	"rdramstream/internal/sim"
+	"rdramstream/internal/smc"
+	"rdramstream/internal/stream"
+)
+
+// Figure1 regenerates the paper's Figure 1: timing parameters of the DRAM
+// families, extended with the derived peak and streaming rates that
+// motivate the study.
+func Figure1() *Table {
+	t := &Table{
+		Title:  "Figure 1 — Typical DRAM timing parameters",
+		Header: []string{"part", "tRAC ns", "tCAC ns", "tRC ns", "tPC ns", "max MHz", "peak MB/s", "stream-1KB MB/s", "random MB/s"},
+		Notes: []string{
+			"peak/stream/random columns are derived from the page-mode model in internal/dram",
+		},
+	}
+	for _, s := range dram.Catalog() {
+		t.Rows = append(t.Rows, []string{
+			s.Name,
+			fmt.Sprintf("%.0f", s.TRAC), fmt.Sprintf("%.0f", s.TCAC),
+			fmt.Sprintf("%.0f", s.TRC), fmt.Sprintf("%.0f", s.TPC),
+			fmt.Sprintf("%.0f", s.MaxMHz),
+			fmt.Sprintf("%.0f", s.PeakMBps()),
+			fmt.Sprintf("%.0f", s.StreamMBps(1024)),
+			fmt.Sprintf("%.0f", s.RandomMBps()),
+		})
+	}
+	return t
+}
+
+// Figure2 regenerates the paper's Figure 2: the Direct RDRAM timing
+// parameter definitions for the -50/-800 part, in interface-clock cycles
+// and nanoseconds.
+func Figure2() *Table {
+	tm := rdram.DefaultTiming()
+	row := func(name, desc string, cycles int) []string {
+		return []string{name, fmt.Sprintf("%d tCYCLE", cycles), fmt.Sprintf("%.1f ns", float64(cycles)*2.5), desc}
+	}
+	return &Table{
+		Title:  "Figure 2 — Direct RDRAM (-50/-800) timing parameters",
+		Header: []string{"param", "cycles", "time", "definition"},
+		Rows: [][]string{
+			{"tCYCLE", "1 tCYCLE", "2.5 ns", "interface clock cycle (400 MHz)"},
+			row("tPACK", "packet transfer time", tm.TPack),
+			row("tRCD", "min interval between ROW & COL packets", tm.TRCD),
+			row("tRP", "page precharge time (PRER to ACT)", tm.TRP),
+			row("tCPOL", "max overlap of last COL & PRER", tm.TCPOL),
+			row("tCAC", "page-hit latency (COL to data)", tm.TCAC),
+			row("tRAC", "page-miss latency (ACT to data)", tm.TRAC()),
+			row("tRC", "page-miss cycle time (ACT to ACT, same bank)", tm.TRC),
+			row("tRR", "ROW-to-ROW packet delay, same device", tm.TRR),
+			row("tRDLY", "round-trip bus delay on reads", tm.TRDLY),
+			row("tRW", "read/write bus turnaround (tPACK + tRDLY)", tm.TRW),
+		},
+	}
+}
+
+// timeline runs the paper's three-stream loop {rd x[i]; rd y[i]; st z[i]}
+// through the natural-order controller and renders the bus timeline.
+func timeline(scheme addrmap.Scheme) (string, error) {
+	g := rdram.DefaultGeometry()
+	bases := stream.MustLayout(scheme, g, 4, []int64{16, 16, 16}, stream.Staggered)
+	k := stream.Sum(bases[0], bases[1], bases[2], 16, 1)
+	dev := rdram.NewDevice(rdram.DefaultConfig())
+	var rec rdram.Recorder
+	dev.Trace = rec.Hook()
+	if _, err := natorder.Run(dev, k, natorder.Config{Scheme: scheme, LineWords: 4}); err != nil {
+		return "", err
+	}
+	head := fmt.Sprintf("%v timing for the three-stream loop {rd x[i]; rd y[i]; st z[i]}, 32-byte lines:\n", scheme)
+	return head + rec.Timeline(2), nil
+}
+
+// Figure5 renders the CLI closed-page command/data timeline of the
+// paper's Figure 5.
+func Figure5() (string, error) { return timeline(addrmap.CLI) }
+
+// Figure6 renders the PI open-page timeline of the paper's Figure 6.
+func Figure6() (string, error) { return timeline(addrmap.PI) }
+
+// Figure7Depths is the FIFO-depth sweep of the paper's Figure 7.
+var Figure7Depths = []int{8, 16, 32, 64, 128}
+
+// Panel is one of Figure 7's sixteen graphs: a kernel on one memory
+// organization and vector length, swept over FIFO depth.
+type Panel struct {
+	Kernel string
+	Scheme addrmap.Scheme
+	N      int
+	Depths []int
+	// CombinedLimit is the analytic SMC bound (Eq 5.15-5.18) per depth.
+	CombinedLimit []float64
+	// Staggered and Aligned are simulated SMC results per depth for the
+	// two vector placements.
+	Staggered []float64
+	Aligned   []float64
+	// CacheLimit is the analytic natural-order bound (flat line).
+	CacheLimit float64
+	// CacheSim is our simulated natural-order result (an addition to the
+	// paper, which plots only the analytic cache bound).
+	CacheSim float64
+}
+
+// Figure7Panel computes one panel.
+func Figure7Panel(kernel string, scheme addrmap.Scheme, n int) (*Panel, error) {
+	f, ok := stream.FactoryByName(kernel)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown kernel %q", kernel)
+	}
+	probe := f.Make(make([]int64, f.Vectors), 8, 1)
+	s := len(probe.Streams)
+	sr := probe.ReadStreams()
+	sw := probe.WriteStreams()
+
+	par := analytic.DefaultParams()
+	p := &Panel{Kernel: kernel, Scheme: scheme, N: n, Depths: Figure7Depths}
+	pi := scheme == addrmap.PI
+	if pi {
+		p.CacheLimit = par.CacheMultiPI(s, n)
+	} else {
+		p.CacheLimit = par.CacheMultiCLI(s, n)
+	}
+	natOut, err := sim.Run(sim.Scenario{
+		KernelName: kernel, N: n, Scheme: scheme, Mode: sim.NaturalOrder,
+		Placement: stream.Staggered, SkipVerify: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.CacheSim = natOut.PercentPeak
+
+	for _, depth := range Figure7Depths {
+		p.CombinedLimit = append(p.CombinedLimit, par.SMCCombinedBound(pi, sr, sw, depth, n))
+		for _, placement := range []stream.Placement{stream.Staggered, stream.Aligned} {
+			out, err := sim.Run(sim.Scenario{
+				KernelName: kernel, N: n, Scheme: scheme, Mode: sim.SMC,
+				FIFODepth: depth, Placement: placement, SkipVerify: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if placement == stream.Staggered {
+				p.Staggered = append(p.Staggered, out.PercentPeak)
+			} else {
+				p.Aligned = append(p.Aligned, out.PercentPeak)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Table renders the panel in Figure 7's four-series form.
+func (p *Panel) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 7 — %s, %v, %d elements (%% of peak bandwidth)", p.Kernel, p.Scheme, p.N),
+		Header: []string{"FIFO depth", "SMC combined limit", "SMC staggered", "SMC aligned", "cache/natural-order limit", "natural-order sim"},
+	}
+	for i, d := range p.Depths {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", d),
+			f1(p.CombinedLimit[i]), f1(p.Staggered[i]), f1(p.Aligned[i]),
+			f1(p.CacheLimit), f1(p.CacheSim),
+		})
+	}
+	return t
+}
+
+// Figure7Kernels and lengths match the paper's grid.
+var (
+	Figure7Kernels = []string{"copy", "daxpy", "hydro", "vaxpy"}
+	Figure7Lengths = []int{128, 1024}
+)
+
+// Figure7 computes all sixteen panels (4 kernels x 2 schemes x 2 lengths).
+func Figure7() ([]*Panel, error) {
+	var panels []*Panel
+	for _, kn := range Figure7Kernels {
+		for _, n := range Figure7Lengths {
+			for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+				p, err := Figure7Panel(kn, scheme, n)
+				if err != nil {
+					return nil, err
+				}
+				panels = append(panels, p)
+			}
+		}
+	}
+	return panels, nil
+}
+
+// Figure8 regenerates the strided single-stream cacheline-fill bounds
+// (analytic, as the paper plots) alongside our simulated counterpart.
+func Figure8() *Table {
+	par := analytic.DefaultParams()
+	t := &Table{
+		Title:  "Figure 8 — cacheline fill performance for strided single-stream accesses (% of peak)",
+		Header: []string{"stride", "CLI limit", "PI limit", "CLI sim", "PI sim"},
+		Notes:  []string{"limits from Eq 5.2-5.8; sim is the natural-order controller on a single read stream"},
+	}
+	for stride := 1; stride <= 32; stride++ {
+		cliSim := strideFillSim(addrmap.CLI, stride)
+		piSim := strideFillSim(addrmap.PI, stride)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", stride),
+			f1(par.CacheSingleCLI(stride)), f1(par.CacheSinglePI(stride)),
+			f1(cliSim), f1(piSim),
+		})
+	}
+	return t
+}
+
+// strideFillSim measures a single strided read stream through the
+// natural-order controller.
+func strideFillSim(scheme addrmap.Scheme, stride int) float64 {
+	g := rdram.DefaultGeometry()
+	n := 1024
+	bases := stream.MustLayout(scheme, g, 4, []int64{int64(n * stride)}, stream.Staggered)
+	k := &stream.Kernel{
+		Name: "fill",
+		Streams: []stream.Stream{
+			{Name: "x", Base: bases[0], Stride: int64(stride), Length: n, Mode: stream.Read},
+		},
+		Compute: func(int, []float64) []float64 { return nil },
+	}
+	dev := rdram.NewDevice(rdram.DefaultConfig())
+	res, err := natorder.Run(dev, k, natorder.Config{Scheme: scheme, LineWords: 4})
+	if err != nil {
+		return 0
+	}
+	return res.PercentPeak
+}
+
+// Figure9Strides is the paper's x-axis: strides 4 through 60 in steps of 8.
+var Figure9Strides = []int{4, 12, 20, 28, 36, 44, 52, 60}
+
+// Figure9 regenerates the non-unit-stride vaxpy comparison: SMC simulation
+// versus the natural-order cache bound, on both organizations, as a
+// percentage of *attainable* bandwidth (50% of peak for non-unit strides).
+func Figure9() (*Table, error) {
+	par := analytic.DefaultParams()
+	t := &Table{
+		Title:  "Figure 9 — vaxpy with non-unit strides, 1024 elements, FIFO depth 128 (% of attainable bandwidth)",
+		Header: []string{"stride", "PI SMC", "CLI SMC", "PI cache", "CLI cache"},
+		Notes:  []string{"attainable bandwidth for non-unit strides is 50% of peak (one word per packet)"},
+	}
+	for _, stride := range Figure9Strides {
+		var smcVals [2]float64
+		for i, scheme := range []addrmap.Scheme{addrmap.PI, addrmap.CLI} {
+			out, err := sim.Run(sim.Scenario{
+				KernelName: "vaxpy", N: 1024, Stride: int64(stride), Scheme: scheme,
+				Mode: sim.SMC, FIFODepth: 128, Placement: stream.Staggered, SkipVerify: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			smcVals[i] = out.PercentAttainable
+		}
+		// Cache bounds for the four-stream strided loop; Figure 9 plots
+		// percent-of-attainable, so the percent-of-peak bound doubles.
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", stride),
+			f1(smcVals[0]), f1(smcVals[1]),
+			f1(2 * par.CacheMultiPIStrided(4, 1024, stride)),
+			f1(2 * par.CacheMultiCLIStrided(4, 1024, stride)),
+		})
+	}
+	return t, nil
+}
+
+// SchedulerAblation compares the MSU policies across layouts — the §6
+// "more sophisticated access ordering mechanisms" discussion in numbers.
+// The extension policies win on conflicting layouts and can lose a little
+// on already-favourable ones, which is precisely the robustness question
+// §6 leaves open.
+func SchedulerAblation() (*Table, error) {
+	t := &Table{
+		Title:  "Scheduler ablation — vaxpy, 1024 elements, FIFO 32 (% of peak)",
+		Header: []string{"scheme", "placement", "round-robin", "bank-aware", "hit-first", "round-robin+spec", "bank-aware+spec", "hit-first+spec"},
+	}
+	for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+		for _, placement := range []stream.Placement{stream.Staggered, stream.Aligned} {
+			row := []string{scheme.String(), placement.String()}
+			for _, spec := range []bool{false, true} {
+				for _, pol := range []smc.Policy{smc.RoundRobin, smc.BankAware, smc.HitFirst} {
+					out, err := sim.Run(sim.Scenario{
+						KernelName: "vaxpy", N: 1024, Scheme: scheme, Mode: sim.SMC,
+						FIFODepth: 32, Policy: pol, SpeculateActivate: spec,
+						Placement: placement, SkipVerify: true,
+					})
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, f1(out.PercentPeak))
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/analytic"
+	"rdramstream/internal/natorder"
+	"rdramstream/internal/rdram"
+	"rdramstream/internal/sim"
+	"rdramstream/internal/stream"
+)
+
+// HeadlineNumbers reproduces the figures quoted in the paper's abstract
+// and §6 text, one row per claim: the paper's value next to this
+// implementation's analytic and simulated values. The deltas are discussed
+// in EXPERIMENTS.md.
+func HeadlineNumbers() (*Table, error) {
+	par := analytic.DefaultParams()
+	t := &Table{
+		Title:  "Headline numbers — paper quote vs this implementation",
+		Header: []string{"claim", "paper", "analytic", "simulated"},
+	}
+	add := func(claim, paper, an, simv string) {
+		t.Rows = append(t.Rows, []string{claim, paper, an, simv})
+	}
+
+	// Natural-order unit-stride range across the four kernels ("44-76% of
+	// peak" in the abstract).
+	lo, hi := 101.0, 0.0
+	loS, hiS := 101.0, 0.0
+	type kr struct {
+		kernel string
+		scheme addrmap.Scheme
+		nat    float64
+		smc    float64
+	}
+	var results []kr
+	for _, kn := range Figure7Kernels {
+		f, _ := stream.FactoryByName(kn)
+		probe := f.Make(make([]int64, f.Vectors), 8, 1)
+		s := len(probe.Streams)
+		for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+			var bound float64
+			if scheme == addrmap.PI {
+				bound = par.CacheMultiPI(s, 1024)
+			} else {
+				bound = par.CacheMultiCLI(s, 1024)
+			}
+			if bound < lo {
+				lo = bound
+			}
+			if bound > hi {
+				hi = bound
+			}
+			nat, err := sim.Run(sim.Scenario{KernelName: kn, N: 1024, Scheme: scheme,
+				Mode: sim.NaturalOrder, Placement: stream.Staggered, SkipVerify: true})
+			if err != nil {
+				return nil, err
+			}
+			if nat.PercentPeak < loS {
+				loS = nat.PercentPeak
+			}
+			if nat.PercentPeak > hiS {
+				hiS = nat.PercentPeak
+			}
+			smcOut, err := sim.Run(sim.Scenario{KernelName: kn, N: 1024, Scheme: scheme,
+				Mode: sim.SMC, FIFODepth: 128, Placement: stream.Staggered, SkipVerify: true})
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, kr{kn, scheme, nat.PercentPeak, smcOut.PercentPeak})
+		}
+	}
+	add("natural-order unit-stride range (% peak)", "44-76",
+		fmt.Sprintf("%s-%s", f1(lo), f1(hi)), fmt.Sprintf("%s-%s", f1(loS), f1(hiS)))
+
+	// SMC speedup over natural order, stride 1 ("factors of 1.18 to 2.25").
+	rmin, rmax := 1e9, 0.0
+	for _, r := range results {
+		ratio := r.smc / r.nat
+		if ratio < rmin {
+			rmin = ratio
+		}
+		if ratio > rmax {
+			rmax = ratio
+		}
+	}
+	add("SMC speedup over natural order, stride 1", "1.18-2.25",
+		"-", fmt.Sprintf("%s-%s", f2(rmin), f2(rmax)))
+
+	// copy with 1024 elements exceeds 98% of peak.
+	for _, r := range results {
+		if r.kernel == "copy" && r.scheme == addrmap.CLI {
+			add("copy 1024 elements, deep FIFOs (% peak)", ">98",
+				f1(par.SMCCombinedBound(false, 1, 1, 128, 1024)), f1(r.smc))
+		}
+	}
+
+	// Eight independent unit-stride streams (7 read + 1 write).
+	add("8 streams, PI bound (% peak)", "88.68", f2(par.CacheMultiPI(8, 1024)), eightStreamSim(addrmap.PI))
+	add("8 streams, CLI bound (% peak)", "76.11", f2(par.CacheMultiCLI(8, 1024)), eightStreamSim(addrmap.CLI))
+
+	// Stride 4: three-fourths of each cacheline unused.
+	add("8 streams stride 4, PI (% peak)", "22.17", f2(par.CacheMultiPIStrided(8, 1024, 4)), eightStreamSimStrided(addrmap.PI, 4))
+	add("8 streams stride 4, CLI (% peak)", "19.03", f2(par.CacheMultiCLIStrided(8, 1024, 4)), eightStreamSimStrided(addrmap.CLI, 4))
+
+	// SMC vs the natural-order analytic ceiling on CLI (copy 2.94x,
+	// vaxpy 2.11x in the paper).
+	for _, r := range results {
+		if r.scheme != addrmap.CLI {
+			continue
+		}
+		if r.kernel == "copy" || r.kernel == "vaxpy" {
+			f, _ := stream.FactoryByName(r.kernel)
+			probe := f.Make(make([]int64, f.Vectors), 8, 1)
+			bound := par.CacheMultiCLI(len(probe.Streams), 1024)
+			paper := "2.94"
+			if r.kernel == "vaxpy" {
+				paper = "2.11"
+			}
+			add(fmt.Sprintf("SMC/%s vs CLI cache ceiling", r.kernel), paper,
+				"-", f2(r.smc/bound))
+		}
+	}
+	return t, nil
+}
+
+// eightStreamSim measures seven read streams plus one write stream through
+// the natural-order controller.
+func eightStreamSim(scheme addrmap.Scheme) string {
+	pct, err := multiStreamNatural(scheme, 7, 1, 1024, 1)
+	if err != nil {
+		return "-"
+	}
+	return f2(pct)
+}
+
+// eightStreamSimStrided is eightStreamSim with a non-unit stride.
+func eightStreamSimStrided(scheme addrmap.Scheme, stride int64) string {
+	pct, err := multiStreamNatural(scheme, 7, 1, 1024, stride)
+	if err != nil {
+		return "-"
+	}
+	return f2(pct)
+}
+
+// multiStreamNatural runs sr read streams and sw write streams of n
+// elements over independent vectors through the natural-order controller
+// and returns the percent of peak.
+func multiStreamNatural(scheme addrmap.Scheme, sr, sw, n int, stride int64) (float64, error) {
+	g := rdram.DefaultGeometry()
+	fps := make([]int64, sr+sw)
+	for i := range fps {
+		fps[i] = int64(n) * stride
+	}
+	bases, err := stream.Layout(scheme, g, 4, fps, stream.Staggered)
+	if err != nil {
+		return 0, err
+	}
+	k := stream.MultiStream(sr, sw, bases, n, stride)
+	dev := rdram.NewDevice(rdram.DefaultConfig())
+	res, err := natorder.Run(dev, k, natorder.Config{Scheme: scheme, LineWords: 4})
+	if err != nil {
+		return 0, err
+	}
+	return res.PercentPeak, nil
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line of an SVG plot.
+type Series struct {
+	Name string
+	X, Y []float64
+	// Dashed draws the line dashed (used for analytic limits, as in the
+	// paper's figures).
+	Dashed bool
+	Color  string
+}
+
+// PlotConfig frames an SVG chart.
+type PlotConfig struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// XLog2 spaces the x axis on a log2 scale (FIFO depths).
+	XLog2 bool
+	// YMax caps the y axis (default 100, the bandwidth percentage scale).
+	YMax float64
+}
+
+const (
+	svgW, svgH         = 640, 420
+	padL, padR         = 70, 160
+	padT, padB         = 50, 60
+	plotW              = svgW - padL - padR
+	plotH              = svgH - padT - padB
+	defaultSeriesColor = "#444444"
+)
+
+var paletteColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// RenderSVG draws the series as a standalone SVG document.
+func RenderSVG(cfg PlotConfig, series []Series) string {
+	if cfg.YMax <= 0 {
+		cfg.YMax = 100
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, x := range s.X {
+			if cfg.XLog2 {
+				x = math.Log2(x)
+			}
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+		}
+	}
+	if !(xmax > xmin) {
+		xmax = xmin + 1
+	}
+	sx := func(x float64) float64 {
+		if cfg.XLog2 {
+			x = math.Log2(x)
+		}
+		return padL + (x-xmin)/(xmax-xmin)*plotW
+	}
+	sy := func(y float64) float64 {
+		if y < 0 {
+			y = 0
+		}
+		if y > cfg.YMax {
+			y = cfg.YMax
+		}
+		return padT + (1-y/cfg.YMax)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", svgW, svgH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", svgW, svgH)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" text-anchor="middle">%s</text>`+"\n", svgW/2, escape(cfg.Title))
+
+	// Axes and gridlines.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333"/>`+"\n", padL, padT, plotW, plotH)
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		y := cfg.YMax * frac
+		py := sy(y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", padL, py, padL+plotW, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%.0f</text>`+"\n", padL-6, py+4, y)
+	}
+	// X ticks at each distinct x of the first series.
+	if len(series) > 0 {
+		for _, x := range series[0].X {
+			px := sx(x)
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n", px, padT, px, padT+plotH)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%.0f</text>`+"\n", px, padT+plotH+16, x)
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n", padL+plotW/2, svgH-14, escape(cfg.XLabel))
+	fmt.Fprintf(&b, `<text x="18" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`+"\n", padT+plotH/2, padT+plotH/2, escape(cfg.YLabel))
+
+	// Series.
+	for i, s := range series {
+		color := s.Color
+		if color == "" {
+			if i < len(paletteColors) {
+				color = paletteColors[i]
+			} else {
+				color = defaultSeriesColor
+			}
+		}
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[j]), sy(s.Y[j])))
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"%s/>`+"\n", strings.Join(pts, " "), color, dash)
+		for j := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", sx(s.X[j]), sy(s.Y[j]), color)
+		}
+		// Legend entry.
+		ly := padT + 16*i
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`+"\n", padL+plotW+10, ly, padL+plotW+34, ly, color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n", padL+plotW+40, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// SVG renders a Figure 7 panel in the paper's four-series form.
+func (p *Panel) SVG() string {
+	xs := make([]float64, len(p.Depths))
+	for i, d := range p.Depths {
+		xs[i] = float64(d)
+	}
+	flat := func(v float64) []float64 {
+		out := make([]float64, len(xs))
+		for i := range out {
+			out[i] = v
+		}
+		return out
+	}
+	return RenderSVG(PlotConfig{
+		Title:  fmt.Sprintf("Figure 7 — %s, %v, %d elements", p.Kernel, p.Scheme, p.N),
+		XLabel: "FIFO depth (elements)",
+		YLabel: "% of peak bandwidth",
+		XLog2:  true,
+	}, []Series{
+		{Name: "SMC combined limit", X: xs, Y: p.CombinedLimit, Dashed: true},
+		{Name: "SMC, staggered vectors", X: xs, Y: p.Staggered},
+		{Name: "SMC, aligned vectors", X: xs, Y: p.Aligned},
+		{Name: "cacheline/natural order limit", X: xs, Y: flat(p.CacheLimit), Dashed: true},
+	})
+}
+
+// Figure8SVG renders the strided single-stream fill bounds.
+func Figure8SVG() string {
+	tab := Figure8()
+	n := len(tab.Rows)
+	xs := make([]float64, n)
+	cliL, piL, cliS, piS := make([]float64, n), make([]float64, n), make([]float64, n), make([]float64, n)
+	for i, row := range tab.Rows {
+		fmt.Sscanf(row[0], "%f", &xs[i])
+		fmt.Sscanf(row[1], "%f", &cliL[i])
+		fmt.Sscanf(row[2], "%f", &piL[i])
+		fmt.Sscanf(row[3], "%f", &cliS[i])
+		fmt.Sscanf(row[4], "%f", &piS[i])
+	}
+	return RenderSVG(PlotConfig{
+		Title:  "Figure 8 — cacheline fill performance for strided accesses",
+		XLabel: "stride (64-bit words)",
+		YLabel: "% of peak bandwidth",
+	}, []Series{
+		{Name: "CLI, closed page (limit)", X: xs, Y: cliL, Dashed: true},
+		{Name: "PI, open page (limit)", X: xs, Y: piL, Dashed: true},
+		{Name: "CLI simulated", X: xs, Y: cliS},
+		{Name: "PI simulated", X: xs, Y: piS},
+	})
+}
+
+// Figure9SVG renders the non-unit-stride vaxpy comparison.
+func Figure9SVG() (string, error) {
+	tab, err := Figure9()
+	if err != nil {
+		return "", err
+	}
+	n := len(tab.Rows)
+	xs := make([]float64, n)
+	cols := make([][]float64, 4)
+	for i := range cols {
+		cols[i] = make([]float64, n)
+	}
+	for i, row := range tab.Rows {
+		fmt.Sscanf(row[0], "%f", &xs[i])
+		for c := 0; c < 4; c++ {
+			fmt.Sscanf(row[c+1], "%f", &cols[c][i])
+		}
+	}
+	return RenderSVG(PlotConfig{
+		Title:  "Figure 9 — vaxpy with non-unit strides (1024 elements, FIFO 128)",
+		XLabel: "stride (64-bit words)",
+		YLabel: "% of attainable bandwidth",
+	}, []Series{
+		{Name: "PI, SMC", X: xs, Y: cols[0]},
+		{Name: "CLI, SMC", X: xs, Y: cols[1]},
+		{Name: "PI, cache", X: xs, Y: cols[2], Dashed: true},
+		{Name: "CLI, cache", X: xs, Y: cols[3], Dashed: true},
+	}), nil
+}

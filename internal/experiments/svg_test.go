@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rdramstream/internal/addrmap"
+)
+
+func TestRenderSVGStructure(t *testing.T) {
+	svg := RenderSVG(PlotConfig{Title: "t<&>t", XLabel: "x", YLabel: "y"}, []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{10, 50, 90}},
+		{Name: "b", X: []float64{1, 2, 3}, Y: []float64{20, 20, 20}, Dashed: true},
+	})
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "stroke-dasharray",
+		"t&lt;&amp;&gt;t",        // escaped title
+		">a</text>", ">b</text>", // legend entries
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	// Two series x three points = six markers.
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Errorf("markers = %d, want 6", got)
+	}
+}
+
+func TestRenderSVGClampsRange(t *testing.T) {
+	svg := RenderSVG(PlotConfig{Title: "clamp"}, []Series{
+		{Name: "wild", X: []float64{1, 2}, Y: []float64{-50, 500}},
+	})
+	// Clamped values stay inside the plot box: no y coordinate above the
+	// frame (y < padT) or below it.
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("no line")
+	}
+}
+
+func TestPanelSVG(t *testing.T) {
+	p, err := Figure7Panel("copy", addrmap.PI, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := p.SVG()
+	for _, want := range []string{"Figure 7", "copy", "SMC combined limit", "staggered", "natural order"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("panel svg missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 4 {
+		t.Errorf("panel polylines = %d, want 4", got)
+	}
+}
+
+func TestFigure8And9SVG(t *testing.T) {
+	f8 := Figure8SVG()
+	if !strings.Contains(f8, "Figure 8") || strings.Count(f8, "<polyline") != 4 {
+		t.Error("figure 8 svg malformed")
+	}
+	f9, err := Figure9SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f9, "Figure 9") || strings.Count(f9, "<polyline") != 4 {
+		t.Error("figure 9 svg malformed")
+	}
+}

@@ -1,0 +1,187 @@
+package fpm
+
+import (
+	"fmt"
+
+	"rdramstream/internal/stream"
+)
+
+// Access mode for the three ways the §3 system could reach memory.
+type Mode int
+
+const (
+	// NonCaching issues each element access serially in natural order —
+	// the i860's cache-bypassing pipelined loads, with each load waiting
+	// for its data before the next issues.
+	NonCaching Mode = iota
+	// Caching services cacheline fills (and line-granularity stores) in
+	// natural order, as the i860's cache would.
+	Caching
+	// SMC reorders accesses per stream through FIFOs: the MSU services one
+	// stream at a time in long bursts, amortizing each page miss over a
+	// FIFO's worth of page hits.
+	SMCMode
+)
+
+func (m Mode) String() string {
+	switch m {
+	case NonCaching:
+		return "non-caching"
+	case Caching:
+		return "caching"
+	case SMCMode:
+		return "smc"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// RunConfig parameterizes one run.
+type RunConfig struct {
+	Mode Mode
+	// LineWords is the cacheline size for Caching mode (i860: 32 bytes).
+	LineWords int
+	// FIFODepth is the per-stream SBU depth for SMC mode.
+	FIFODepth int
+}
+
+// Result reports timing and bandwidth of one fast-page-mode run.
+type Result struct {
+	Cycles      int64
+	UsefulWords int64
+	// CyclesPerWord is the average time per element the processor touched.
+	CyclesPerWord float64
+	// PercentAttainable compares against the configuration's peak
+	// page-mode rate, counting only useful words.
+	PercentAttainable float64
+	HitRate           float64
+}
+
+// Run executes the kernel's access pattern on a fresh memory in the given
+// mode. Only timing is modeled (the FPM system's functional behaviour adds
+// nothing over the RDRAM model's verified path).
+func Run(cfg Config, k *stream.Kernel, rc RunConfig) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := k.Validate(); err != nil {
+		return Result{}, err
+	}
+	mem := NewMemory(cfg)
+	var cycles int64
+	switch rc.Mode {
+	case NonCaching:
+		cycles = runNonCaching(mem, k)
+	case Caching:
+		if rc.LineWords <= 0 {
+			rc.LineWords = 4
+		}
+		cycles = runCaching(mem, k, rc.LineWords)
+	case SMCMode:
+		if rc.FIFODepth <= 0 {
+			rc.FIFODepth = 32
+		}
+		cycles = runSMC(mem, k, rc.FIFODepth)
+	default:
+		return Result{}, fmt.Errorf("fpm: unknown mode %d", int(rc.Mode))
+	}
+	useful := int64(k.Iterations()) * int64(len(k.Streams))
+	res := Result{
+		Cycles:      cycles,
+		UsefulWords: useful,
+		HitRate:     mem.HitRate(),
+	}
+	if useful > 0 && cycles > 0 {
+		res.CyclesPerWord = float64(cycles) / float64(useful)
+		res.PercentAttainable = 100 * cfg.PeakCyclesPerWord() / res.CyclesPerWord
+	}
+	return res, nil
+}
+
+// runNonCaching: every element access issues after the previous one's data
+// returned (a serial load/store pipeline of depth one).
+func runNonCaching(mem *Memory, k *stream.Kernel) int64 {
+	var now int64
+	for i := 0; i < k.Iterations(); i++ {
+		for _, st := range k.Streams {
+			now = mem.Access(st.Addr(i), now)
+		}
+	}
+	return now
+}
+
+// runCaching: line-granularity transactions in natural order; a new line
+// is fetched (or stored) word by word, words overlapping across the
+// interleaved banks; the next iteration begins when its operands arrived.
+func runCaching(mem *Memory, k *stream.Kernel, lineWords int) int64 {
+	lw := int64(lineWords)
+	cur := make([]int64, len(k.Streams))
+	for i := range cur {
+		cur[i] = -1
+	}
+	var gate int64 // operand availability of the previous iteration
+	var last int64
+	for i := 0; i < k.Iterations(); i++ {
+		var iterDone int64
+		for si, st := range k.Streams {
+			addr := st.Addr(i)
+			line := addr / lw
+			if cur[si] != line {
+				cur[si] = line
+				var lineDone int64
+				for w := int64(0); w < lw; w++ {
+					done := mem.Access(line*lw+w, gate)
+					if done > lineDone {
+						lineDone = done
+					}
+				}
+				if lineDone > last {
+					last = lineDone
+				}
+				if st.Mode == stream.Read && lineDone > iterDone {
+					iterDone = lineDone
+				}
+			}
+		}
+		if iterDone > 0 {
+			gate = iterDone
+		}
+	}
+	return last
+}
+
+// runSMC: the MSU drains one stream FIFO at a time in bursts of up to
+// FIFODepth elements, so each burst pays the page misses once and rides
+// page mode for the rest. The CPU-side ordering constraints are absorbed
+// by the FIFOs exactly as in the RDRAM SMC; with long vectors the burst
+// schedule below is the steady state the real MSU reaches.
+func runSMC(mem *Memory, k *stream.Kernel, depth int) int64 {
+	type cursor struct {
+		next int // next element to transfer
+	}
+	cursors := make([]cursor, len(k.Streams))
+	var now int64
+	remaining := int64(k.Iterations()) * int64(len(k.Streams))
+	for remaining > 0 {
+		for si, st := range k.Streams {
+			c := &cursors[si]
+			burst := depth
+			if left := st.Length - c.next; burst > left {
+				burst = left
+			}
+			var burstDone int64
+			for j := 0; j < burst; j++ {
+				done := mem.Access(st.Addr(c.next), now)
+				if done > burstDone {
+					burstDone = done
+				}
+				c.next++
+				remaining--
+			}
+			if burstDone > now {
+				now = burstDone
+			}
+		}
+	}
+	return mem.Cycles()
+}

@@ -1,0 +1,223 @@
+package fpm
+
+import (
+	"testing"
+
+	"rdramstream/internal/stream"
+)
+
+// vectors lays out n-element vectors in separate page-group regions, the
+// FPM analogue of the RDRAM layout helper (distinct vectors share no
+// pages).
+func vectors(count, n int, strideW int64) []int64 {
+	g := DefaultGeometry()
+	region := int64(g.Banks*g.PageWords) * 64
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = int64(i) * region
+	}
+	_ = n
+	_ = strideW
+	return out
+}
+
+func daxpyKernel(n int, stride int64) *stream.Kernel {
+	b := vectors(2, n, stride)
+	return stream.Daxpy(2, b[0], b[1], n, stride)
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Timing: Timing{HitCycles: 0, MissCycles: 10}, Geometry: DefaultGeometry()},
+		{Timing: Timing{HitCycles: 5, MissCycles: 2}, Geometry: DefaultGeometry()},
+		{Timing: DefaultTiming(), Geometry: Geometry{Banks: 0, PageWords: 128}},
+		{Timing: DefaultTiming(), Geometry: Geometry{Banks: 2, PageWords: 0}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMemoryPageMode(t *testing.T) {
+	m := NewMemory(DefaultConfig())
+	// First touch misses, same-page follow-ups hit; the two banks
+	// interleave on consecutive words.
+	d0 := m.Access(0, 0) // bank 0 miss
+	if d0 != 10 {
+		t.Errorf("first access done at %d, want MissCycles", d0)
+	}
+	d1 := m.Access(1, 0) // bank 1 miss, overlapped
+	if d1 != 10 {
+		t.Errorf("bank-1 access done at %d, want overlapped 10", d1)
+	}
+	d2 := m.Access(2, 10) // bank 0 page hit
+	if d2 != 12 {
+		t.Errorf("page hit done at %d, want 12", d2)
+	}
+	if hr := m.HitRate(); hr < 0.33 || hr > 0.34 {
+		t.Errorf("hit rate %v", hr)
+	}
+	// A far-away word in bank 0 misses again.
+	if done := m.Access(int64(2*DefaultGeometry().PageWords*4), 12); done != 12+10 {
+		t.Errorf("page switch done at %d", done)
+	}
+}
+
+func TestPeakCyclesPerWord(t *testing.T) {
+	if got := DefaultConfig().PeakCyclesPerWord(); got != 1 {
+		t.Errorf("peak = %v, want 1 (two banks of 2-cycle page mode)", got)
+	}
+	slow := Config{Timing: Timing{HitCycles: 6, MissCycles: 12}, Geometry: Geometry{Banks: 2, PageWords: 128}}
+	if got := slow.PeakCyclesPerWord(); got != 3 {
+		t.Errorf("peak = %v, want 3", got)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if NonCaching.String() != "non-caching" || Caching.String() != "caching" || SMCMode.String() != "smc" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(7).String() == "" {
+		t.Error("unknown mode should render")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	k := daxpyKernel(64, 1)
+	if _, err := Run(Config{}, k, RunConfig{Mode: SMCMode}); err == nil {
+		t.Error("expected config error")
+	}
+	bad := daxpyKernel(64, 1)
+	bad.Compute = nil
+	if _, err := Run(DefaultConfig(), bad, RunConfig{Mode: SMCMode}); err == nil {
+		t.Error("expected kernel error")
+	}
+	if _, err := Run(DefaultConfig(), k, RunConfig{Mode: Mode(9)}); err == nil {
+		t.Error("expected mode error")
+	}
+}
+
+func TestSMCExploitsOverNinetyPercent(t *testing.T) {
+	// §3: "an SMC significantly improves the effective memory bandwidth,
+	// exploiting over 90% of the attainable bandwidth for long-vector
+	// computations".
+	k := daxpyKernel(4096, 1)
+	res, err := Run(DefaultConfig(), k, RunConfig{Mode: SMCMode, FIFODepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PercentAttainable < 90 {
+		t.Errorf("SMC attainable = %.1f%%, want > 90%%", res.PercentAttainable)
+	}
+	if res.HitRate < 0.9 {
+		t.Errorf("SMC hit rate = %.2f", res.HitRate)
+	}
+}
+
+func TestSpeedupsMatchPriorSystem(t *testing.T) {
+	// §3: "speedups by factors of two to 13 over normal caching and of up
+	// to 23 over non-caching accesses issued in the natural order". The
+	// big factors come from non-unit strides; assert the reproduced ranges
+	// bracket sensibly.
+	minCache, maxCache := 1e9, 0.0
+	maxNon := 0.0
+	for _, stride := range []int64{1, 2, 4, 8, 16} {
+		k := daxpyKernel(2048, stride)
+		smcRes, err := Run(DefaultConfig(), k, RunConfig{Mode: SMCMode, FIFODepth: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cacheRes, err := Run(DefaultConfig(), k, RunConfig{Mode: Caching, LineWords: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonRes, err := Run(DefaultConfig(), k, RunConfig{Mode: NonCaching})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := cacheRes.CyclesPerWord / smcRes.CyclesPerWord
+		sn := nonRes.CyclesPerWord / smcRes.CyclesPerWord
+		if sc < minCache {
+			minCache = sc
+		}
+		if sc > maxCache {
+			maxCache = sc
+		}
+		if sn > maxNon {
+			maxNon = sn
+		}
+		if sc < 1 || sn < 1 {
+			t.Errorf("stride %d: SMC slower than baseline (cache %.2f, non %.2f)", stride, sc, sn)
+		}
+	}
+	if minCache < 1.2 || maxCache > 20 {
+		t.Errorf("caching speedup range [%.2f, %.2f] implausible vs paper's 2-13", minCache, maxCache)
+	}
+	if maxCache < 4 {
+		t.Errorf("max caching speedup %.2f, expected the strided cases well above 4", maxCache)
+	}
+	if maxNon < 5 || maxNon > 40 {
+		t.Errorf("max non-caching speedup %.2f vs paper's up-to-23", maxNon)
+	}
+}
+
+func TestCachingBeatsNonCachingAtUnitStride(t *testing.T) {
+	k := daxpyKernel(2048, 1)
+	cacheRes, _ := Run(DefaultConfig(), k, RunConfig{Mode: Caching, LineWords: 4})
+	nonRes, _ := Run(DefaultConfig(), k, RunConfig{Mode: NonCaching})
+	if cacheRes.CyclesPerWord >= nonRes.CyclesPerWord {
+		t.Errorf("caching (%.2f c/w) should beat serial non-caching (%.2f c/w) at stride 1",
+			cacheRes.CyclesPerWord, nonRes.CyclesPerWord)
+	}
+}
+
+func TestDeeperFIFOHigherHitRate(t *testing.T) {
+	k := daxpyKernel(2048, 1)
+	shallow, _ := Run(DefaultConfig(), k, RunConfig{Mode: SMCMode, FIFODepth: 4})
+	deep, _ := Run(DefaultConfig(), k, RunConfig{Mode: SMCMode, FIFODepth: 128})
+	if deep.HitRate <= shallow.HitRate {
+		t.Errorf("deep FIFO hit rate %.2f should beat shallow %.2f", deep.HitRate, shallow.HitRate)
+	}
+	if deep.PercentAttainable <= shallow.PercentAttainable {
+		t.Errorf("deep FIFO %.1f%% should beat shallow %.1f%%", deep.PercentAttainable, shallow.PercentAttainable)
+	}
+}
+
+func TestSMCAsymptoticBound(t *testing.T) {
+	cfg := DefaultConfig()
+	// Deeper FIFOs amortize the per-burst page misses: the bound rises
+	// toward 100% of attainable.
+	var prev float64
+	for _, f := range []int{4, 16, 64, 256} {
+		b := cfg.SMCAsymptoticBound(f, 3, 2)
+		if b <= prev || b > 100 {
+			t.Errorf("depth %d: bound %.1f not increasing in (0,100]", f, b)
+		}
+		prev = b
+	}
+	if cfg.SMCAsymptoticBound(0, 3, 2) != 0 || cfg.SMCAsymptoticBound(8, 0, 2) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+	// The bound must dominate the simulation and track it closely for
+	// long vectors (the §5.2 contrast: page misses, not bus turnaround,
+	// limit FPM systems). daxpy: s=3 streams over 2 vectors.
+	k := daxpyKernel(8192, 1)
+	for _, f := range []int{16, 64} {
+		res, err := Run(cfg, k, RunConfig{Mode: SMCMode, FIFODepth: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := cfg.SMCAsymptoticBound(f, 3, 2)
+		if res.PercentAttainable > bound+1 {
+			t.Errorf("depth %d: sim %.1f exceeds bound %.1f", f, res.PercentAttainable, bound)
+		}
+		if res.PercentAttainable < bound-8 {
+			t.Errorf("depth %d: sim %.1f far below bound %.1f", f, res.PercentAttainable, bound)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package natorder
+
+import (
+	"testing"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/cache"
+	"rdramstream/internal/rdram"
+	"rdramstream/internal/stream"
+)
+
+func cacheCfg(sizeWords, ways int) *cache.Config {
+	return &cache.Config{SizeWords: sizeWords, LineWords: 4, Ways: ways}
+}
+
+func TestThroughCacheFunctional(t *testing.T) {
+	for _, f := range stream.Benchmarks {
+		for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+			cfg := Config{Scheme: scheme, LineWords: 4, Cache: cacheCfg(2048, 1)}
+			res, dev, k, shadow := runKernel(t, f.Name, 128, 1, cfg, stream.Staggered)
+			if res.PercentPeak <= 0 || res.PercentPeak > 100 {
+				t.Errorf("%s/%v: PercentPeak %.2f", f.Name, scheme, res.PercentPeak)
+			}
+			verifyFunctional(t, dev, scheme, 4, k, shadow)
+		}
+	}
+}
+
+func TestThroughCacheReportsHitRate(t *testing.T) {
+	// A 1024-word direct-mapped cache cannot hold daxpy's two 1024-word
+	// vectors: dead lines get conflict-evicted mid-run (dirty y lines get
+	// written back), but the streaming hit rate stays ~0.83 because each
+	// line's reuse happens before its set is recycled.
+	cfg := Config{Scheme: addrmap.CLI, LineWords: 4, Cache: cacheCfg(1024, 1)}
+	res, _, _, _ := runKernel(t, "daxpy", 1024, 1, cfg, stream.Staggered)
+	if res.CacheHitRate < 0.7 || res.CacheHitRate >= 1 {
+		t.Errorf("hit rate = %.2f, want ~0.83", res.CacheHitRate)
+	}
+	if res.DirtyWritebacks == 0 {
+		t.Error("expected mid-run dirty writebacks (vectors exceed the cache)")
+	}
+}
+
+func TestThroughCacheMatchesIdealWhenNoConflicts(t *testing.T) {
+	// With a fully-associative cache big enough for the streaming window,
+	// the realistic model's traffic equals the write-allocate ideal model
+	// plus the final writeback sweep.
+	ideal := Config{Scheme: addrmap.CLI, LineWords: 4, WriteAllocate: true}
+	idealRes, _, _, _ := runKernel(t, "copy", 256, 1, ideal, stream.Staggered)
+
+	big := Config{Scheme: addrmap.CLI, LineWords: 4, Cache: cacheCfg(4096, 8)}
+	bigRes, _, _, _ := runKernel(t, "copy", 256, 1, big, stream.Staggered)
+
+	if bigRes.TransferredWords != idealRes.TransferredWords {
+		t.Errorf("conflict-free cache moved %d words, ideal write-allocate %d",
+			bigRes.TransferredWords, idealRes.TransferredWords)
+	}
+}
+
+func TestThroughCacheConflictsInflateTraffic(t *testing.T) {
+	// Vector bases exactly a cache-size multiple apart map onto the same
+	// sets of a direct-mapped cache: x's live line and y's live line evict
+	// each other every iteration, so intra-line reuse dies and traffic
+	// explodes versus the ideal per-stream line buffers. This is the §6
+	// effect the paper's bounds exclude ("cache conflicts ... beyond the
+	// scope of this study").
+	const cacheWords = 2048
+	k := stream.Daxpy(2, 0, 4*cacheWords, 1024, 1) // bases congruent mod cache size
+
+	run := func(cfg Config) Result {
+		dev := rdram.NewDevice(rdram.DefaultConfig())
+		res, err := Run(dev, k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ideal := run(Config{Scheme: addrmap.CLI, LineWords: 4})
+	realistic := run(Config{Scheme: addrmap.CLI, LineWords: 4, Cache: cacheCfg(cacheWords, 1)})
+	if realistic.CacheHitRate > 0.5 {
+		t.Errorf("thrashing hit rate = %.2f, expected collapse", realistic.CacheHitRate)
+	}
+	if realistic.TransferredWords < 2*ideal.TransferredWords {
+		t.Errorf("realistic cache moved %d words, ideal %d; expected >=2x conflict inflation",
+			realistic.TransferredWords, ideal.TransferredWords)
+	}
+	if realistic.PercentPeak >= ideal.PercentPeak {
+		t.Errorf("thrashing run %.1f%% should be slower than ideal %.1f%%",
+			realistic.PercentPeak, ideal.PercentPeak)
+	}
+	// A two-way cache absorbs the pathological pair.
+	assoc := run(Config{Scheme: addrmap.CLI, LineWords: 4, Cache: cacheCfg(cacheWords, 2)})
+	if assoc.CacheHitRate < 0.7 {
+		t.Errorf("2-way hit rate = %.2f, expected the conflicts absorbed", assoc.CacheHitRate)
+	}
+}
+
+func TestThroughCacheRejectsLineMismatch(t *testing.T) {
+	dev := rdram.NewDevice(rdram.DefaultConfig())
+	k := stream.Copy(0, 1<<12, 16, 1)
+	cfg := Config{Scheme: addrmap.CLI, LineWords: 4, Cache: &cache.Config{SizeWords: 2048, LineWords: 8, Ways: 1}}
+	if _, err := Run(dev, k, cfg); err == nil {
+		t.Error("expected error for mismatched line sizes")
+	}
+	bad := Config{Scheme: addrmap.CLI, LineWords: 4, Cache: &cache.Config{SizeWords: 0, LineWords: 4, Ways: 1}}
+	if _, err := Run(dev, k, bad); err == nil {
+		t.Error("expected error for invalid cache config")
+	}
+}

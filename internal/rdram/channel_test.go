@@ -1,0 +1,123 @@
+package rdram
+
+import "testing"
+
+// channelConfig builds an n-device channel of default parts.
+func channelConfig(devices int) Config {
+	cfg := DefaultConfig()
+	cfg.Geometry.Banks *= devices
+	cfg.Geometry.DevicesOnChannel = devices
+	return cfg
+}
+
+func TestChannelGeometryValidation(t *testing.T) {
+	cfg := channelConfig(4)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("4-device channel invalid: %v", err)
+	}
+	if cfg.Geometry.Devices() != 4 || cfg.Geometry.BanksPerDevice() != 8 {
+		t.Errorf("devices/banks = %d/%d", cfg.Geometry.Devices(), cfg.Geometry.BanksPerDevice())
+	}
+	bad := cfg
+	bad.Geometry.DevicesOnChannel = 3 // 32 banks don't divide by 3
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for uneven device split")
+	}
+	neg := cfg
+	neg.Geometry.DevicesOnChannel = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("expected error for negative device count")
+	}
+	// Double-bank pairs must not straddle chips.
+	db := cfg
+	db.Geometry.DoubleBank = true
+	db.Geometry.Banks = 12
+	db.Geometry.DevicesOnChannel = 4 // 3 banks per device
+	if err := db.Validate(); err == nil {
+		t.Error("expected error for odd banks per device with DoubleBank")
+	}
+}
+
+func TestSingleDeviceGeometryHelpers(t *testing.T) {
+	g := DefaultGeometry()
+	if g.Devices() != 1 || g.BanksPerDevice() != 8 {
+		t.Errorf("single device helpers wrong: %d/%d", g.Devices(), g.BanksPerDevice())
+	}
+	if g.deviceOf(7) != 0 {
+		t.Error("deviceOf wrong for single device")
+	}
+	c := channelConfig(4).Geometry
+	if c.deviceOf(0) != 0 || c.deviceOf(8) != 1 || c.deviceOf(31) != 3 {
+		t.Error("deviceOf mapping wrong for channel")
+	}
+}
+
+func TestChannelTRRIsPerDevice(t *testing.T) {
+	// Consecutive ACTs to banks on *different* chips need only the ROW-bus
+	// packet spacing (t_PACK), not t_RR.
+	d := NewDevice(channelConfig(2))
+	r0 := d.Do(0, Request{Bank: 0, Row: 0, Col: 0}) // chip 0
+	r1 := d.Do(0, Request{Bank: 8, Row: 0, Col: 0}) // chip 1
+	r2 := d.Do(0, Request{Bank: 1, Row: 0, Col: 0}) // chip 0 again
+	if got := r1.ActIssue - r0.ActIssue; got != int64(d.cfg.Timing.TPack) {
+		t.Errorf("cross-chip ACT spacing = %d, want TPack = %d", got, d.cfg.Timing.TPack)
+	}
+	// Same chip: t_RR from that chip's previous ACT.
+	if got := r2.ActIssue - r0.ActIssue; got < int64(d.cfg.Timing.TRR) {
+		t.Errorf("same-chip ACT spacing = %d, want >= TRR", got)
+	}
+}
+
+func TestChannelSingleDeviceUnchanged(t *testing.T) {
+	// A one-device channel behaves exactly like the paper's device: the
+	// second ACT waits t_RR.
+	d := NewDevice(DefaultConfig())
+	r0 := d.Do(0, Request{Bank: 0, Row: 0, Col: 0})
+	r1 := d.Do(0, Request{Bank: 1, Row: 0, Col: 0})
+	if got := r1.ActIssue - r0.ActIssue; got != int64(d.cfg.Timing.TRR) {
+		t.Errorf("ACT spacing = %d, want TRR", got)
+	}
+}
+
+func TestChannelRetireIsPerDevice(t *testing.T) {
+	// A write buffers in its own chip; reading a *different* chip needs no
+	// COL RET, but the shared-bus turnaround t_RW still applies.
+	d := NewDevice(channelConfig(2))
+	w := d.Do(0, Request{Bank: 0, Row: 0, Col: 0, Write: true})
+	r := d.Do(0, Request{Bank: 8, Row: 0, Col: 0})
+	if d.Stats().Retires != 0 {
+		t.Errorf("cross-chip read triggered %d retires", d.Stats().Retires)
+	}
+	if r.DataStart < w.DataEnd+int64(d.cfg.Timing.TRW) {
+		t.Errorf("bus turnaround violated across chips: read %d after write end %d", r.DataStart, w.DataEnd)
+	}
+	// Reading the chip that buffered the write does retire it.
+	d.Do(0, Request{Bank: 1, Row: 0, Col: 0})
+	if d.Stats().Retires != 1 {
+		t.Errorf("same-chip read retires = %d, want 1", d.Stats().Retires)
+	}
+}
+
+func TestChannelDataBusIsShared(t *testing.T) {
+	// Packets from different chips still serialize on the one DATA bus.
+	d := NewDevice(channelConfig(4))
+	var prevEnd int64
+	for i := 0; i < 16; i++ {
+		res := d.Do(0, Request{Bank: (i % 4) * 8, Row: 0, Col: i / 4})
+		if res.DataStart < prevEnd {
+			t.Fatalf("packet %d overlaps previous: %d < %d", i, res.DataStart, prevEnd)
+		}
+		prevEnd = res.DataEnd
+	}
+}
+
+func TestChannelFunctionalIsolation(t *testing.T) {
+	// The same (bank-local) coordinates on different chips are distinct
+	// storage.
+	d := NewDevice(channelConfig(2))
+	d.PokeWord(0, 5, 3, 0, 111)
+	d.PokeWord(8, 5, 3, 0, 222)
+	if d.PeekWord(0, 5, 3, 0) != 111 || d.PeekWord(8, 5, 3, 0) != 222 {
+		t.Error("chips share storage")
+	}
+}

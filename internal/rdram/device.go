@@ -1,0 +1,427 @@
+package rdram
+
+import "fmt"
+
+// Request asks the device to transfer one DATA packet (two 64-bit words).
+//
+// Bank/Row/Col address the packet: Col is the packet index within the page
+// (0 .. PageWords/WordsPerPacket - 1). The caller decides the precharge
+// policy: AutoPrecharge models a closed-page policy (the bank is precharged
+// immediately after the column access); leaving it false models an
+// open-page policy (the sense amps stay open until a conflicting activate
+// or an explicit PrechargeBank).
+type Request struct {
+	Bank, Row, Col int
+	Write          bool
+	AutoPrecharge  bool
+	// Data holds the words to store for a write request.
+	Data [WordsPerPacket]uint64
+}
+
+// Result reports when each packet of a request occupied its bus.
+// Times are absolute interface-clock cycles. PreIssue/ActIssue are -1 when
+// the request hit the open page and needed no row activity.
+type Result struct {
+	PreIssue  int64 // ROW PRER packet start (page conflict only)
+	ActIssue  int64 // ROW ACT packet start (page miss only)
+	ColIssue  int64 // COL RD/WR packet start
+	DataStart int64 // first cycle of the DATA packet
+	DataEnd   int64 // first cycle after the DATA packet
+	PageHit   bool  // the access found its row already in the sense amps
+	// Data holds the words fetched by a read request.
+	Data [WordsPerPacket]uint64
+}
+
+type bankState struct {
+	open       bool
+	row        int
+	rcdReady   int64 // earliest COL packet after the last ACT (t_RCD)
+	lastColEnd int64 // end of the most recent COL packet (for t_CPOL)
+	lastAct    int64 // start of the most recent ACT (for t_RC / t_RAS)
+	preDone    int64 // cycle at which the last precharge completes (t_RP)
+	everActed  bool
+}
+
+// Device is a single Direct RDRAM chip: a set of banks with per-bank sense
+// amplifiers behind shared ROW, COL, and DATA buses. It is a timing model
+// and a functional store: reads return the data previously written.
+//
+// Device is not safe for concurrent use; the simulators drive it from a
+// single goroutine.
+type Device struct {
+	cfg Config
+
+	banks []bankState
+
+	rowBusFree  int64 // next cycle the ROW command bus is free
+	colBusFree  int64 // next cycle the COL command bus is free
+	dataBusFree int64
+
+	lastAct []int64 // most recent ACT per chip on the channel (t_RR)
+	anyAct  []bool
+
+	lastWriteDataEnd int64 // end of most recent write DATA packet (t_RW)
+	anyWrite         bool
+
+	pendingRetire []bool // per chip: a COL RET packet must precede the next read
+
+	nextRefresh int64
+	refreshBank int
+
+	pages map[int][]uint64 // sparse functional storage, keyed by page id
+
+	stats Stats
+
+	// Trace, when non-nil, receives every packet the device schedules. It
+	// is used to render the Figure 5/6 style command/data timelines.
+	Trace func(ev TraceEvent)
+}
+
+// NewDevice builds a device from cfg. It panics on an invalid
+// configuration; use cfg.Validate to check first when the configuration
+// comes from outside the program.
+func NewDevice(cfg Config) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &Device{
+		cfg:           cfg,
+		banks:         make([]bankState, cfg.Geometry.Banks),
+		pages:         make(map[int][]uint64),
+		lastAct:       make([]int64, cfg.Geometry.Devices()),
+		anyAct:        make([]bool, cfg.Geometry.Devices()),
+		pendingRetire: make([]bool, cfg.Geometry.Devices()),
+	}
+	if cfg.RefreshInterval > 0 {
+		d.nextRefresh = cfg.RefreshInterval
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a copy of the device's operation counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// PacketsPerPage is the number of DATA packets held by one page.
+func (d *Device) PacketsPerPage() int {
+	return d.cfg.Geometry.PageWords / WordsPerPacket
+}
+
+func (d *Device) checkAddr(bank, row, col int) {
+	g := d.cfg.Geometry
+	if bank < 0 || bank >= g.Banks || row < 0 || row >= g.PagesPerBank ||
+		col < 0 || col >= d.PacketsPerPage() {
+		panic(fmt.Sprintf("rdram: address out of range: bank=%d row=%d col=%d (geometry %+v)", bank, row, col, g))
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// emit reports a scheduled packet to the trace hook, if any.
+func (d *Device) emit(kind TraceKind, at int64, dur int, bank, row, col int) {
+	if d.Trace != nil {
+		d.Trace(TraceEvent{Kind: kind, Start: at, End: at + int64(dur), Bank: bank, Row: row, Col: col})
+	}
+}
+
+// prechargeAt schedules a ROW PRER packet for bank b no earlier than at and
+// returns its start cycle. The caller must know the bank is open.
+//
+// When occupyBus is false the PRER packet is slotted into a row-bus gap
+// without delaying subsequent ACT packets. This models the paper's
+// observation that "the precharge can be completely overlapped with other
+// activity, since tRAS + tRP < 2*tRR + tRAC": with ACT packets at least
+// t_RR = 8 cycles apart and only t_PACK = 4 cycles wide, the row bus always
+// has a free slot for a background (auto) precharge. Critical-path
+// precharges — page conflicts and explicit closes — do occupy the bus.
+func (d *Device) prechargeAt(b int, at int64, occupyBus bool) int64 {
+	t := &d.cfg.Timing
+	bk := &d.banks[b]
+	tp := at
+	if occupyBus {
+		tp = max64(tp, d.rowBusFree)
+	}
+	// The precharge may overlap the tail of the last COL packet by at most
+	// t_CPOL cycles.
+	tp = max64(tp, bk.lastColEnd-int64(t.TCPOL))
+	// The row must have been active for at least t_RAS.
+	if bk.everActed {
+		tp = max64(tp, bk.lastAct+int64(t.TRAS()))
+	}
+	if occupyBus {
+		d.rowBusFree = tp + int64(t.TPack)
+	}
+	bk.open = false
+	bk.preDone = tp + int64(t.TRP)
+	d.stats.Precharges++
+	d.emit(TracePrecharge, tp, t.TPack, b, bk.row, -1)
+	return tp
+}
+
+// activateAt schedules a ROW ACT packet opening row in bank b no earlier
+// than at, first precharging any double-bank neighbour that is open, and
+// returns the ACT start cycle.
+func (d *Device) activateAt(b, row int, at int64) int64 {
+	t := &d.cfg.Timing
+	bk := &d.banks[b]
+	// Double-bank cores share sense amps between adjacent banks: both
+	// cannot be open at once.
+	for _, nb := range d.cfg.Geometry.adjacent(b) {
+		if d.banks[nb].open {
+			pre := d.prechargeAt(nb, at, true)
+			at = max64(at, pre+int64(t.TRP))
+		}
+	}
+	dev := d.cfg.Geometry.deviceOf(b)
+	ta := max64(at, d.rowBusFree)
+	ta = max64(ta, bk.preDone)
+	if d.anyAct[dev] {
+		// t_RR binds consecutive ACT packets to the *same* chip; other
+		// chips on the channel only contend for the ROW bus itself.
+		ta = max64(ta, d.lastAct[dev]+int64(t.TRR))
+	}
+	if bk.everActed {
+		ta = max64(ta, bk.lastAct+int64(t.TRC))
+	}
+	d.rowBusFree = ta + int64(t.TPack)
+	bk.open = true
+	bk.row = row
+	bk.rcdReady = ta + int64(t.TRCD)
+	bk.lastAct = ta
+	bk.everActed = true
+	d.lastAct[dev] = ta
+	d.anyAct[dev] = true
+	d.stats.Activates++
+	d.emit(TraceActivate, ta, t.TPack, b, row, -1)
+	return ta
+}
+
+// PrechargeBank explicitly precharges bank b (open-page policy conflict
+// handling, or a controller that speculatively closes pages). It returns
+// the PRER start cycle, or -1 if the bank was already closed.
+func (d *Device) PrechargeBank(b int, at int64) int64 {
+	if b < 0 || b >= len(d.banks) {
+		panic(fmt.Sprintf("rdram: bank %d out of range", b))
+	}
+	if !d.banks[b].open {
+		return -1
+	}
+	return d.prechargeAt(b, at, true)
+}
+
+// BankOpenRow returns the row currently latched in bank b's sense amps,
+// and whether the bank is open.
+func (d *Device) BankOpenRow(b int) (row int, open bool) {
+	bk := &d.banks[b]
+	return bk.row, bk.open
+}
+
+// AccessReadyAt estimates the earliest cycle a column access to (bank,row)
+// could issue, accounting for any precharge/activate the access would first
+// require. Schedulers use it to rank candidate requests (the bank-aware
+// MSU policy); it does not change device state.
+func (d *Device) AccessReadyAt(bank, row int, at int64) int64 {
+	bk := &d.banks[bank]
+	t := &d.cfg.Timing
+	if bk.open && bk.row == row {
+		return max64(at, bk.rcdReady)
+	}
+	ready := at
+	if bk.open {
+		// Page conflict: precharge first.
+		pre := max64(ready, bk.lastColEnd-int64(t.TCPOL))
+		if bk.everActed {
+			pre = max64(pre, bk.lastAct+int64(t.TRAS()))
+		}
+		ready = pre + int64(t.TRP)
+	} else {
+		ready = max64(ready, bk.preDone)
+	}
+	if dev := d.cfg.Geometry.deviceOf(bank); d.anyAct[dev] {
+		ready = max64(ready, d.lastAct[dev]+int64(t.TRR))
+	}
+	if bk.everActed {
+		ready = max64(ready, bk.lastAct+int64(t.TRC))
+	}
+	return ready + int64(t.TRCD)
+}
+
+// ActivateBank opens a row without transferring data — the speculative
+// row-activation the paper's §6 proposes ("a scheduling policy that
+// speculatively precharges a page and issues a ROW ACT command before the
+// stream crosses the page boundary"). A conflicting open row is precharged
+// first. It returns the ACT issue cycle. Activating the already-open row
+// is a no-op returning -1.
+func (d *Device) ActivateBank(b, row int, at int64) int64 {
+	d.checkAddr(b, row, 0)
+	bk := &d.banks[b]
+	if bk.open && bk.row == row {
+		return -1
+	}
+	if bk.open {
+		pre := d.prechargeAt(b, at, true)
+		at = max64(at, pre+int64(d.cfg.Timing.TRP))
+	}
+	return d.activateAt(b, row, at)
+}
+
+// maybeRefresh injects pending refresh operations before cycle at.
+// Each refresh is an ACT/PRER pair on the next bank in round-robin order.
+func (d *Device) maybeRefresh(at int64) {
+	if d.cfg.RefreshInterval <= 0 {
+		return
+	}
+	for d.nextRefresh <= at {
+		b := d.refreshBank
+		d.refreshBank = (d.refreshBank + 1) % len(d.banks)
+		when := d.nextRefresh
+		d.nextRefresh += d.cfg.RefreshInterval
+		if d.banks[b].open {
+			pre := d.prechargeAt(b, when, true)
+			when = pre + int64(d.cfg.Timing.TRP)
+		}
+		// Refresh the next due row; the row address is immaterial to
+		// timing, so refresh row 0.
+		act := d.activateAt(b, 0, when)
+		d.prechargeAt(b, act+int64(d.cfg.Timing.TRAS()), true)
+		d.banks[b].open = false
+		d.stats.Refreshes++
+	}
+}
+
+// Do performs one packet access no earlier than cycle at and returns the
+// scheduled packet times. It resolves page misses and conflicts itself:
+// a closed bank is activated; an open bank holding the wrong row is
+// precharged and then activated.
+func (d *Device) Do(at int64, req Request) Result {
+	d.checkAddr(req.Bank, req.Row, req.Col)
+	d.maybeRefresh(at)
+	t := &d.cfg.Timing
+	bk := &d.banks[req.Bank]
+
+	res := Result{PreIssue: -1, ActIssue: -1}
+	earliestCol := at
+	switch {
+	case bk.open && bk.row == req.Row:
+		res.PageHit = true
+		d.stats.PageHits++
+	case bk.open:
+		// Page conflict: precharge, then activate the requested row.
+		res.PreIssue = d.prechargeAt(req.Bank, at, true)
+		res.ActIssue = d.activateAt(req.Bank, req.Row, res.PreIssue+int64(t.TRP))
+		d.stats.PageConflicts++
+		d.stats.PageMisses++
+	default:
+		res.ActIssue = d.activateAt(req.Bank, req.Row, at)
+		d.stats.PageMisses++
+	}
+	earliestCol = max64(earliestCol, bk.rcdReady)
+
+	// A COL RET packet retires the write buffer between the last COL WR and
+	// the next COL RD. Its cost is already captured by the data-bus
+	// turnaround: the paper combines the retire's t_PACK and the round-trip
+	// t_RDLY into t_RW, which we enforce on the DATA bus below — so the RET
+	// is emitted for the trace and counted, but does not consume an extra
+	// critical-path column-bus slot.
+	reqDev := d.cfg.Geometry.deviceOf(req.Bank)
+	if !req.Write && d.pendingRetire[reqDev] {
+		d.pendingRetire[reqDev] = false
+		d.stats.Retires++
+		d.emit(TraceRetire, d.colBusFree, t.TPack, req.Bank, -1, -1)
+	}
+
+	tc := max64(earliestCol, d.colBusFree)
+
+	// Data packet latency from the COL packet start. Reads see the page-hit
+	// latency t_CAC plus the one extra cycle that makes a page miss cost
+	// exactly t_RAC = t_RCD + t_CAC + 1 from the ACT packet.
+	lat := int64(t.TCAC + 1)
+	if req.Write {
+		lat = int64(t.TCWD)
+	}
+	ds := tc + lat
+	// The DATA bus is a shared pipelined resource; packets may not overlap,
+	// and a read DATA packet must trail the previous write DATA packet by
+	// the bus turnaround time t_RW.
+	minDS := d.dataBusFree
+	if !req.Write && d.anyWrite {
+		minDS = max64(minDS, d.lastWriteDataEnd+int64(t.TRW))
+	}
+	if ds < minDS {
+		tc += minDS - ds
+		ds = minDS
+	}
+
+	d.colBusFree = tc + int64(t.TPack)
+	bk.lastColEnd = tc + int64(t.TPack)
+	de := ds + int64(t.TPack)
+	d.dataBusFree = de
+	res.ColIssue = tc
+	res.DataStart = ds
+	res.DataEnd = de
+
+	page := d.pageSlot(req.Bank, req.Row)
+	w := req.Col * WordsPerPacket
+	if req.Write {
+		d.pendingRetire[reqDev] = true
+		d.lastWriteDataEnd = de
+		d.anyWrite = true
+		d.stats.Writes++
+		copy(page[w:w+WordsPerPacket], req.Data[:])
+		d.emit(TraceWriteCol, tc, t.TPack, req.Bank, req.Row, req.Col)
+		d.emit(TraceWriteData, ds, t.TPack, req.Bank, req.Row, req.Col)
+	} else {
+		d.stats.Reads++
+		copy(res.Data[:], page[w:w+WordsPerPacket])
+		d.emit(TraceReadCol, tc, t.TPack, req.Bank, req.Row, req.Col)
+		d.emit(TraceReadData, ds, t.TPack, req.Bank, req.Row, req.Col)
+	}
+	d.stats.DataBusBusy += int64(t.TPack)
+	if de > d.stats.LastDataEnd {
+		d.stats.LastDataEnd = de
+	}
+
+	if req.AutoPrecharge {
+		d.prechargeAt(req.Bank, tc, false)
+	}
+	return res
+}
+
+// pageSlot returns the storage backing (bank,row), allocating it on first
+// touch so that untouched memory costs nothing.
+func (d *Device) pageSlot(bank, row int) []uint64 {
+	id := bank*d.cfg.Geometry.PagesPerBank + row
+	p, ok := d.pages[id]
+	if !ok {
+		p = make([]uint64, d.cfg.Geometry.PageWords)
+		d.pages[id] = p
+	}
+	return p
+}
+
+// PeekWord returns the stored 64-bit word at the given packet-level
+// coordinates plus word offset, for functional verification in tests.
+func (d *Device) PeekWord(bank, row, col, word int) uint64 {
+	d.checkAddr(bank, row, col)
+	if word < 0 || word >= WordsPerPacket {
+		panic(fmt.Sprintf("rdram: word offset %d out of range", word))
+	}
+	return d.pageSlot(bank, row)[col*WordsPerPacket+word]
+}
+
+// PokeWord stores a 64-bit word directly, bypassing timing — used to
+// initialize memory contents before a simulation.
+func (d *Device) PokeWord(bank, row, col, word int, v uint64) {
+	d.checkAddr(bank, row, col)
+	if word < 0 || word >= WordsPerPacket {
+		panic(fmt.Sprintf("rdram: word offset %d out of range", word))
+	}
+	d.pageSlot(bank, row)[col*WordsPerPacket+word] = v
+}

@@ -1,0 +1,49 @@
+package rdram
+
+import "testing"
+
+// FuzzDeviceDo fuzzes the device with arbitrary request streams and checks
+// the global scheduling invariants: data packets never overlap, never
+// precede their column packets, and the functional store round-trips.
+func FuzzDeviceDo(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{255, 128, 9, 200, 31, 64})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		cfg := DefaultConfig()
+		cfg.Geometry.PagesPerBank = 16
+		d := NewDevice(cfg)
+		var prevDataEnd int64
+		now := int64(0)
+		for i, b := range ops {
+			req := Request{
+				Bank:          int(b) % cfg.Geometry.Banks,
+				Row:           (int(b) / 8) % cfg.Geometry.PagesPerBank,
+				Col:           (i * 7) % (cfg.Geometry.PageWords / WordsPerPacket),
+				Write:         b%3 == 0,
+				AutoPrecharge: b%5 == 0,
+			}
+			if req.Write {
+				req.Data = [2]uint64{uint64(i), uint64(b)}
+			}
+			res := d.Do(now, req)
+			if res.DataStart < res.ColIssue {
+				t.Fatalf("op %d: data before column packet", i)
+			}
+			if res.DataStart < prevDataEnd {
+				t.Fatalf("op %d: data bus overlap", i)
+			}
+			prevDataEnd = res.DataEnd
+			if req.Write {
+				if got := d.PeekWord(req.Bank, req.Row, req.Col, 0); got != uint64(i) {
+					t.Fatalf("op %d: stored %d, read back %d", i, i, got)
+				}
+			}
+			if b%7 == 0 {
+				now = res.DataEnd
+			}
+		}
+	})
+}

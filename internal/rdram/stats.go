@@ -1,0 +1,47 @@
+package rdram
+
+import "fmt"
+
+// Stats counts device operations and data-bus occupancy. All counters are
+// monotone over a simulation.
+type Stats struct {
+	Activates     int64
+	Precharges    int64
+	Reads         int64 // DATA packets read
+	Writes        int64 // DATA packets written
+	PageHits      int64
+	PageMisses    int64
+	PageConflicts int64 // misses that first had to close another row
+	Retires       int64 // COL RET packets inserted before reads
+	Refreshes     int64
+	DataBusBusy   int64 // cycles the DATA bus carried packets
+	LastDataEnd   int64 // cycle after the final DATA packet
+}
+
+// PacketCount is the total number of DATA packets transferred.
+func (s Stats) PacketCount() int64 { return s.Reads + s.Writes }
+
+// HitRate is the fraction of column accesses that hit an open page.
+func (s Stats) HitRate() float64 {
+	n := s.PageHits + s.PageMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(s.PageHits) / float64(n)
+}
+
+// BusUtilization is the fraction of the elapsed simulation (up to the last
+// data packet) during which the DATA bus was busy — the effective fraction
+// of peak bandwidth actually delivered, if every transferred word was
+// useful.
+func (s Stats) BusUtilization() float64 {
+	if s.LastDataEnd == 0 {
+		return 0
+	}
+	return float64(s.DataBusBusy) / float64(s.LastDataEnd)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("act=%d pre=%d rd=%d wr=%d hit=%d miss=%d conflict=%d ret=%d refresh=%d busBusy=%d lastData=%d",
+		s.Activates, s.Precharges, s.Reads, s.Writes, s.PageHits, s.PageMisses, s.PageConflicts, s.Retires, s.Refreshes, s.DataBusBusy, s.LastDataEnd)
+}

@@ -1,0 +1,115 @@
+// Package rdram models a single Direct Rambus DRAM (RDRAM) device at the
+// granularity of command and data packets on its three shared resources:
+// the ROW command bus, the COL command bus, and the DATA bus.
+//
+// The model follows the protocol description and timing parameters of the
+// -50/-800 Direct RDRAM part as given in Figure 2 of Hong et al., "Access
+// Order and Effective Bandwidth for Streams on a Direct Rambus Memory"
+// (HPCA 1999). All times are expressed in 400 MHz interface-clock cycles
+// (2.5 ns each); a command or data packet occupies its bus for TPack = 4
+// cycles, and the device transfers 16 bytes (two 64-bit words) per DATA
+// packet, for a peak bandwidth of 1.6 GB/s.
+package rdram
+
+import "fmt"
+
+// WordsPerPacket is the number of 64-bit stream elements carried by one
+// DATA packet (the paper's w_p). The smallest addressable unit of a Direct
+// RDRAM is one 128-bit packet.
+const WordsPerPacket = 2
+
+// MaxOutstanding is the number of concurrent transactions the Direct RDRAM
+// pipeline supports ("its pipelined microarchitecture supports up to four
+// outstanding requests").
+const MaxOutstanding = 4
+
+// Timing holds the Direct RDRAM timing parameters, in interface-clock
+// cycles. The field names follow the paper's Figure 2.
+type Timing struct {
+	// TPack is the transfer time of one command or data packet (t_PACK).
+	TPack int
+	// TRCD is the minimum interval between a ROW ACT packet and the first
+	// COL packet to that bank (t_RCD).
+	TRCD int
+	// TRP is the page precharge time: minimum interval between a ROW PRER
+	// packet and the next ROW ACT packet to the same bank (t_RP).
+	TRP int
+	// TCPOL is the maximum overlap between the last COL packet of a burst
+	// and the start of the ROW PRER packet (t_CPOL).
+	TCPOL int
+	// TCAC is the page-hit latency: delay between the start of a COL RD
+	// packet and valid data (t_CAC).
+	TCAC int
+	// TRC is the page-miss cycle time: minimum interval between successive
+	// ROW ACT packets to the same bank (t_RC).
+	TRC int
+	// TRR is the minimum delay between consecutive ROW ACT packets to the
+	// same RDRAM device (t_RR).
+	TRR int
+	// TRDLY is the round-trip bus delay added to read page-hit times
+	// because the DATA packet travels opposite to the command (t_RDLY).
+	TRDLY int
+	// TRW is the read/write bus turnaround: the interval that must separate
+	// the end of a write DATA packet from the start of a read DATA packet
+	// (t_RW = t_PACK + t_RDLY). Writes after reads need no turnaround.
+	TRW int
+	// TCWD is the delay between the start of a COL WR packet and the start
+	// of its write DATA packet. The paper does not state it explicitly; we
+	// use 3 cycles (≈ the Direct RDRAM write delay), documented in
+	// DESIGN.md §3.
+	TCWD int
+}
+
+// DefaultTiming returns the timing parameters of the Min -50 -800 Direct
+// RDRAM part from Figure 2 of the paper.
+func DefaultTiming() Timing {
+	return Timing{
+		TPack: 4,
+		TRCD:  11,
+		TRP:   10,
+		TCPOL: 1,
+		TCAC:  8,
+		TRC:   34,
+		TRR:   8,
+		TRDLY: 2,
+		TRW:   6,
+		TCWD:  3,
+	}
+}
+
+// TRAC is the page-miss read latency: the delay between the start of a ROW
+// ACT packet and valid data, t_RAC = t_RCD + t_CAC + 1 extra cycle
+// (20 cycles = 50 ns for the default part).
+func (t Timing) TRAC() int { return t.TRCD + t.TCAC + 1 }
+
+// TRAS is the minimum time a row must stay activated before it may be
+// precharged. The paper does not list it directly but uses the identity
+// t_RC = t_RAS + t_RP, giving 24 cycles for the default part.
+func (t Timing) TRAS() int { return t.TRC - t.TRP }
+
+// Validate reports whether the timing parameters are internally consistent.
+func (t Timing) Validate() error {
+	switch {
+	case t.TPack <= 0:
+		return fmt.Errorf("rdram: TPack must be positive, got %d", t.TPack)
+	case t.TRCD < 0 || t.TRP < 0 || t.TCAC < 0 || t.TRR < 0 || t.TRDLY < 0 || t.TRW < 0 || t.TCWD < 0:
+		return fmt.Errorf("rdram: negative timing parameter in %+v", t)
+	case t.TCPOL < 0 || t.TCPOL > t.TPack:
+		return fmt.Errorf("rdram: TCPOL %d out of range [0,%d]", t.TCPOL, t.TPack)
+	case t.TRC < t.TRP:
+		return fmt.Errorf("rdram: TRC %d smaller than TRP %d", t.TRC, t.TRP)
+	}
+	return nil
+}
+
+// PeakBytesPerCycle is the peak data rate of the device in bytes per
+// interface-clock cycle: one 16-byte DATA packet per TPack cycles.
+func (t Timing) PeakBytesPerCycle() float64 {
+	return float64(WordsPerPacket*8) / float64(t.TPack)
+}
+
+// CyclesPerWordPeak is the minimum (peak-rate) number of cycles to transfer
+// one 64-bit word: t_PACK / w_p.
+func (t Timing) CyclesPerWordPeak() float64 {
+	return float64(t.TPack) / float64(WordsPerPacket)
+}

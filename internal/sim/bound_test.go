@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"testing"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/analytic"
+	"rdramstream/internal/stream"
+)
+
+// TestSMCSimulationRespectsAnalyticBound locks in the relationship the
+// paper's Figure 7 depicts: the simulated SMC never exceeds the combined
+// startup/asymptotic analytic bound (Eq 5.15-5.18) by more than rounding
+// slack, across kernels, schemes, lengths, and FIFO depths.
+func TestSMCSimulationRespectsAnalyticBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	par := analytic.DefaultParams()
+	const slack = 1.0 // percentage points; measured worst case is ~0.25
+	for _, kn := range []string{"copy", "daxpy", "hydro", "vaxpy"} {
+		f, _ := stream.FactoryByName(kn)
+		probe := f.Make(make([]int64, f.Vectors), 8, 1)
+		sr, sw := probe.ReadStreams(), probe.WriteStreams()
+		for _, n := range []int{128, 1024} {
+			for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+				for _, d := range []int{8, 32, 128} {
+					out, err := Run(Scenario{KernelName: kn, N: n, Scheme: scheme, Mode: SMC,
+						FIFODepth: d, Placement: stream.Staggered, SkipVerify: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					limit := par.SMCCombinedBound(scheme == addrmap.PI, sr, sw, d, n)
+					if out.PercentPeak > limit+slack {
+						t.Errorf("%s n=%d %v depth=%d: sim %.2f%% exceeds bound %.2f%%",
+							kn, n, scheme, d, out.PercentPeak, limit)
+					}
+				}
+			}
+		}
+	}
+}

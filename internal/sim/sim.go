@@ -1,0 +1,249 @@
+// Package sim is the one-stop harness the experiments, examples, and
+// public API use: it lays a kernel's vectors out in memory, seeds the
+// device with a deterministic data pattern, runs either the natural-order
+// controller or the SMC, and verifies the device's final memory image
+// against the kernel's golden semantics.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/cache"
+	"rdramstream/internal/natorder"
+	"rdramstream/internal/rdram"
+	"rdramstream/internal/smc"
+	"rdramstream/internal/stream"
+)
+
+// Mode selects the memory controller under test.
+type Mode int
+
+const (
+	// NaturalOrder services cacheline accesses in program order — the
+	// paper's baseline.
+	NaturalOrder Mode = iota
+	// SMC routes streams through the Stream Memory Controller.
+	SMC
+)
+
+func (m Mode) String() string {
+	if m == NaturalOrder {
+		return "natural-order"
+	}
+	return "smc"
+}
+
+// Scenario describes one simulation.
+type Scenario struct {
+	// KernelName selects a benchmark from stream.Benchmarks.
+	KernelName string
+	// N is the stream length in elements; Stride the element stride in
+	// 64-bit words.
+	N      int
+	Stride int64
+
+	Scheme    addrmap.Scheme
+	Placement stream.Placement
+	Mode      Mode
+
+	// LineWords is the cacheline size (defaults to 4 = 32 bytes).
+	LineWords int
+	// FIFODepth is the SBU depth for SMC mode (defaults to 32).
+	FIFODepth int
+	// Policy is the MSU scheduling policy for SMC mode.
+	Policy smc.Policy
+	// SpeculateActivate enables the SMC's page-crossing extension.
+	SpeculateActivate bool
+	// WriteAllocate enables the natural-order controller's
+	// fetch-on-store-miss ablation.
+	WriteAllocate bool
+	// Cache, when non-nil, puts a real set-associative write-back cache in
+	// front of the natural-order controller (conflict misses and dirty
+	// writebacks modeled). Ignored in SMC mode, which bypasses the cache
+	// by design.
+	Cache *cache.Config
+
+	// Device overrides the device configuration (zero value = paper's
+	// default part).
+	Device rdram.Config
+	// Seed drives the data pattern used to initialize the vectors.
+	Seed int64
+	// SkipVerify disables the post-run functional check (for benchmarks).
+	SkipVerify bool
+}
+
+// withDefaults fills zero fields.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.LineWords == 0 {
+		sc.LineWords = 4
+	}
+	if sc.FIFODepth == 0 {
+		sc.FIFODepth = 32
+	}
+	if sc.Stride == 0 {
+		sc.Stride = 1
+	}
+	if sc.Device.Timing.TPack == 0 {
+		sc.Device = rdram.DefaultConfig()
+	}
+	return sc
+}
+
+// Outcome reports a simulation's bandwidth and verification results.
+type Outcome struct {
+	// Cycles is the total simulated time in 400 MHz interface cycles.
+	Cycles int64
+	// UsefulWords and TransferredWords account for traffic as in the
+	// controller packages.
+	UsefulWords      int64
+	TransferredWords int64
+	// PercentPeak is the effective bandwidth relative to 1.6 GB/s.
+	PercentPeak float64
+	// PercentAttainable rescales by the stride's densest packet packing.
+	PercentAttainable float64
+	// EffectiveMBps is the useful data rate in MB/s (1 cycle = 2.5 ns).
+	EffectiveMBps float64
+	// Verified is true when the final memory image matched the kernel's
+	// golden execution.
+	Verified bool
+	// Device carries the device counters.
+	Device rdram.Stats
+}
+
+// BuildKernel lays out and constructs a benchmark kernel for a scenario.
+func BuildKernel(sc Scenario) (*stream.Kernel, error) {
+	sc = sc.withDefaults()
+	f, ok := stream.FactoryByName(sc.KernelName)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown kernel %q (have copy, daxpy, hydro, vaxpy)", sc.KernelName)
+	}
+	if sc.N <= 0 {
+		return nil, fmt.Errorf("sim: N must be positive, got %d", sc.N)
+	}
+	if sc.Stride <= 0 {
+		return nil, fmt.Errorf("sim: stride must be positive, got %d", sc.Stride)
+	}
+	bases, err := stream.Layout(sc.Scheme, sc.Device.Geometry, sc.LineWords, f.Footprints(sc.N, sc.Stride), sc.Placement)
+	if err != nil {
+		return nil, err
+	}
+	return f.Make(bases, sc.N, sc.Stride), nil
+}
+
+// Run executes the scenario with one of the built-in benchmark kernels.
+func Run(sc Scenario) (Outcome, error) {
+	sc = sc.withDefaults()
+	k, err := BuildKernel(sc)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return RunKernel(k, sc)
+}
+
+// RunKernel executes the scenario with a caller-built kernel; the
+// scenario's KernelName, N, and Stride fields are ignored. The kernel's
+// vectors must fit the device geometry under the scenario's interleaving
+// scheme (use stream.Layout to place them).
+func RunKernel(k *stream.Kernel, sc Scenario) (Outcome, error) {
+	sc = sc.withDefaults()
+	dev := rdram.NewDevice(sc.Device)
+	mapper, err := addrmap.New(sc.Scheme, sc.Device.Geometry, sc.LineWords)
+	if err != nil {
+		return Outcome{}, err
+	}
+	shadow := seed(dev, mapper, k, sc.Seed)
+
+	var out Outcome
+	switch sc.Mode {
+	case NaturalOrder:
+		res, err := natorder.Run(dev, k, natorder.Config{
+			Scheme: sc.Scheme, LineWords: sc.LineWords,
+			WriteAllocate: sc.WriteAllocate, Cache: sc.Cache,
+		})
+		if err != nil {
+			return Outcome{}, err
+		}
+		out = Outcome{
+			Cycles: res.Cycles, UsefulWords: res.UsefulWords,
+			TransferredWords: res.TransferredWords,
+			PercentPeak:      res.PercentPeak, PercentAttainable: res.PercentPeak,
+			Device: res.Device,
+		}
+		if res.TransferredWords > 0 {
+			frac := float64(res.UsefulWords) / float64(res.TransferredWords)
+			if frac < 1 {
+				out.PercentAttainable = res.PercentPeak / frac
+			}
+		}
+	case SMC:
+		res, err := smc.Run(dev, k, smc.Config{
+			Scheme: sc.Scheme, LineWords: sc.LineWords, FIFODepth: sc.FIFODepth,
+			Policy: sc.Policy, SpeculateActivate: sc.SpeculateActivate,
+		})
+		if err != nil {
+			return Outcome{}, err
+		}
+		out = Outcome{
+			Cycles: res.Cycles, UsefulWords: res.UsefulWords,
+			TransferredWords: res.TransferredWords,
+			PercentPeak:      res.PercentPeak, PercentAttainable: res.PercentAttainable,
+			Device: res.Device,
+		}
+	default:
+		return Outcome{}, fmt.Errorf("sim: unknown mode %d", int(sc.Mode))
+	}
+
+	// Useful bytes over elapsed time: one cycle is 2.5 ns.
+	if out.Cycles > 0 {
+		out.EffectiveMBps = float64(out.UsefulWords*8) / (float64(out.Cycles) * 2.5) * 1000
+	}
+
+	if !sc.SkipVerify {
+		if err := verify(dev, mapper, k, shadow); err != nil {
+			return out, fmt.Errorf("sim: functional verification failed: %w", err)
+		}
+		out.Verified = true
+	}
+	return out, nil
+}
+
+// seed fills every stream element with a deterministic value derived from
+// Seed, through the mapper, and returns the shadow image.
+func seed(dev *rdram.Device, m *addrmap.Mapper, k *stream.Kernel, s int64) map[int64]uint64 {
+	rng := rand.New(rand.NewSource(s + 1))
+	shadow := make(map[int64]uint64)
+	for _, st := range k.Streams {
+		for i := 0; i < st.Length; i++ {
+			addr := st.Addr(i)
+			if _, done := shadow[addr]; done {
+				continue
+			}
+			// Keep magnitudes small so float arithmetic is exact and the
+			// comparison is bit-precise.
+			v := math.Float64bits(float64(rng.Intn(1024)) / 8)
+			loc := m.Map(addr)
+			dev.PokeWord(loc.Bank, loc.Row, loc.Col, loc.Word, v)
+			shadow[addr] = v
+		}
+	}
+	return shadow
+}
+
+// verify replays the kernel over the shadow and compares every touched
+// address with the device contents.
+func verify(dev *rdram.Device, m *addrmap.Mapper, k *stream.Kernel, shadow map[int64]uint64) error {
+	k.Replay(
+		func(addr int64) uint64 { return shadow[addr] },
+		func(addr int64, v uint64) { shadow[addr] = v },
+	)
+	for addr, want := range shadow {
+		loc := m.Map(addr)
+		if got := dev.PeekWord(loc.Bank, loc.Row, loc.Col, loc.Word); got != want {
+			return fmt.Errorf("address %d: device %#x, golden %#x", addr, got, want)
+		}
+	}
+	return nil
+}

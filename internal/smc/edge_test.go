@@ -1,0 +1,230 @@
+package smc
+
+import (
+	"math"
+	"testing"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/rdram"
+	"rdramstream/internal/stream"
+)
+
+// fillKernel is a write-only stream: y[i] = i. It exercises the SMC with
+// no read FIFOs at all.
+func fillKernel(base int64, n int) *stream.Kernel {
+	return &stream.Kernel{
+		Name: "fill",
+		Streams: []stream.Stream{
+			{Name: "y", Base: base, Stride: 1, Length: n, Mode: stream.Write},
+		},
+		Compute: func(i int, _ []float64) []float64 { return []float64{float64(i)} },
+	}
+}
+
+// readOnlyKernel is a read-only stream, exercising the SMC with no write
+// FIFOs.
+func readOnlyKernel(base int64, n int) *stream.Kernel {
+	return &stream.Kernel{
+		Name: "drain",
+		Streams: []stream.Stream{
+			{Name: "x", Base: base, Stride: 1, Length: n, Mode: stream.Read},
+		},
+		Compute: func(int, []float64) []float64 { return nil },
+	}
+}
+
+func TestSMCWriteOnlyKernel(t *testing.T) {
+	g := rdram.DefaultGeometry()
+	for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+		bases := stream.MustLayout(scheme, g, 4, []int64{512}, stream.Staggered)
+		k := fillKernel(bases[0], 512)
+		dev := rdram.NewDevice(rdram.DefaultConfig())
+		res, err := Run(dev, k, Config{Scheme: scheme, LineWords: 4, FIFODepth: 32})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if res.PercentPeak < 80 {
+			t.Errorf("%v: fill = %.1f%%, write bursts should stream", scheme, res.PercentPeak)
+		}
+		// Every value must land.
+		m := addrmap.MustNew(scheme, g, 4)
+		for i := 0; i < 512; i++ {
+			loc := m.Map(bases[0] + int64(i))
+			if got := dev.PeekWord(loc.Bank, loc.Row, loc.Col, loc.Word); got != math.Float64bits(float64(i)) {
+				t.Fatalf("%v: element %d = %x", scheme, i, got)
+			}
+		}
+	}
+}
+
+func TestSMCReadOnlyKernel(t *testing.T) {
+	g := rdram.DefaultGeometry()
+	bases := stream.MustLayout(addrmap.PI, g, 4, []int64{1024}, stream.Staggered)
+	k := readOnlyKernel(bases[0], 1024)
+	dev := rdram.NewDevice(rdram.DefaultConfig())
+	res, err := Run(dev, k, Config{Scheme: addrmap.PI, LineWords: 4, FIFODepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PercentPeak < 90 {
+		t.Errorf("read-only stream = %.1f%%, want near peak (no turnarounds)", res.PercentPeak)
+	}
+	if res.Device.Writes != 0 {
+		t.Errorf("read-only kernel wrote %d packets", res.Device.Writes)
+	}
+	if res.Device.Retires != 0 {
+		t.Errorf("read-only kernel retired %d times", res.Device.Retires)
+	}
+}
+
+func TestSMCOddLengthPartialPacket(t *testing.T) {
+	// 7 elements: the final packet carries one element; its neighbour word
+	// must be preserved by the read-merge.
+	g := rdram.DefaultGeometry()
+	bases := stream.MustLayout(addrmap.CLI, g, 4, []int64{8, 8}, stream.Staggered)
+	k := stream.Copy(bases[0], bases[1], 7, 1)
+	dev := rdram.NewDevice(rdram.DefaultConfig())
+	m := addrmap.MustNew(addrmap.CLI, g, 4)
+	// Seed x with values and poison the word just past y's last element.
+	for i := int64(0); i < 7; i++ {
+		loc := m.Map(bases[0] + i)
+		dev.PokeWord(loc.Bank, loc.Row, loc.Col, loc.Word, math.Float64bits(float64(i+1)))
+	}
+	sentinel := m.Map(bases[1] + 7)
+	dev.PokeWord(sentinel.Bank, sentinel.Row, sentinel.Col, sentinel.Word, 0xabcdef)
+	if _, err := Run(dev, k, Config{Scheme: addrmap.CLI, LineWords: 4, FIFODepth: 8}); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 7; i++ {
+		loc := m.Map(bases[1] + i)
+		if got := dev.PeekWord(loc.Bank, loc.Row, loc.Col, loc.Word); got != math.Float64bits(float64(i+1)) {
+			t.Fatalf("y[%d] = %x", i, got)
+		}
+	}
+	if got := dev.PeekWord(sentinel.Bank, sentinel.Row, sentinel.Col, sentinel.Word); got != 0xabcdef {
+		t.Errorf("word beyond the stream was clobbered: %x", got)
+	}
+}
+
+func TestSMCSingleElementStream(t *testing.T) {
+	g := rdram.DefaultGeometry()
+	bases := stream.MustLayout(addrmap.PI, g, 4, []int64{2, 2}, stream.Staggered)
+	k := stream.Copy(bases[0], bases[1], 1, 1)
+	dev := rdram.NewDevice(rdram.DefaultConfig())
+	m := addrmap.MustNew(addrmap.PI, g, 4)
+	loc := m.Map(bases[0])
+	dev.PokeWord(loc.Bank, loc.Row, loc.Col, loc.Word, math.Float64bits(42))
+	res, err := Run(dev, k, Config{Scheme: addrmap.PI, LineWords: 4, FIFODepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsefulWords != 2 {
+		t.Errorf("UsefulWords = %d", res.UsefulWords)
+	}
+	out := m.Map(bases[1])
+	if got := dev.PeekWord(out.Bank, out.Row, out.Col, out.Word); got != math.Float64bits(42) {
+		t.Errorf("copied value = %x", got)
+	}
+}
+
+func TestSpeculateActivateIsNoOpForCLI(t *testing.T) {
+	// The extension only applies to open-page PI systems; on CLI it must
+	// change nothing.
+	g := rdram.DefaultGeometry()
+	run := func(spec bool) int64 {
+		bases := stream.MustLayout(addrmap.CLI, g, 4, f4(1024), stream.Staggered)
+		k := stream.Vaxpy(bases[0], bases[1], bases[2], 1024, 1)
+		dev := rdram.NewDevice(rdram.DefaultConfig())
+		res, err := Run(dev, k, Config{Scheme: addrmap.CLI, LineWords: 4, FIFODepth: 32, SpeculateActivate: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Errorf("CLI cycles differ with speculation: %d vs %d", a, b)
+	}
+}
+
+func f4(n int) []int64 { return []int64{int64(n), int64(n), int64(n)} }
+
+func TestSMCManyStreams(t *testing.T) {
+	// Eight independent streams (the paper's concurrency experiment), via
+	// the SMC: still near peak, still functionally exact.
+	g := rdram.DefaultGeometry()
+	fps := make([]int64, 8)
+	for i := range fps {
+		fps[i] = 512
+	}
+	bases := stream.MustLayout(addrmap.PI, g, 4, fps, stream.Staggered)
+	k := stream.MultiStream(7, 1, bases, 512, 1)
+	dev := rdram.NewDevice(rdram.DefaultConfig())
+	shadow := seedVectors(dev, addrmap.PI, 4, k)
+	res, err := Run(dev, k, Config{Scheme: addrmap.PI, LineWords: 4, FIFODepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PercentPeak < 85 {
+		t.Errorf("8-stream SMC = %.1f%%", res.PercentPeak)
+	}
+	verifyFunctional(t, dev, addrmap.PI, 4, k, shadow)
+}
+
+func TestSMCSwapTwoWriteFIFOs(t *testing.T) {
+	// swap has two write FIFOs over the same vectors the reads use: the
+	// fiercest RAW/WAR mix of the classic kernels; it must stay exact and
+	// fast on both organizations.
+	g := rdram.DefaultGeometry()
+	for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+		bases := stream.MustLayout(scheme, g, 4, []int64{1024, 1024}, stream.Staggered)
+		k := stream.Swap(bases[0], bases[1], 1024, 1)
+		dev := rdram.NewDevice(rdram.DefaultConfig())
+		shadow := seedVectors(dev, scheme, 4, k)
+		res, err := Run(dev, k, Config{Scheme: scheme, LineWords: 4, FIFODepth: 64})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if res.PercentPeak < 80 {
+			t.Errorf("%v: swap = %.1f%%", scheme, res.PercentPeak)
+		}
+		verifyFunctional(t, dev, scheme, 4, k, shadow)
+	}
+}
+
+func TestHitFirstPolicy(t *testing.T) {
+	// hit-first wins on the conflicting (aligned) daxpy CLI layout and
+	// must stay functional everywhere.
+	g := rdram.DefaultGeometry()
+	run := func(pol Policy, pl stream.Placement) float64 {
+		f, _ := stream.FactoryByName("daxpy")
+		bases := stream.MustLayout(addrmap.CLI, g, 4, f.Footprints(1024, 1), pl)
+		k := f.Make(bases, 1024, 1)
+		dev := rdram.NewDevice(rdram.DefaultConfig())
+		res, err := Run(dev, k, Config{Scheme: addrmap.CLI, LineWords: 4, FIFODepth: 32, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PercentPeak
+	}
+	rr := run(RoundRobin, stream.Aligned)
+	hf := run(HitFirst, stream.Aligned)
+	if hf <= rr {
+		t.Errorf("aligned daxpy CLI: hit-first %.1f%% should beat round-robin %.1f%%", hf, rr)
+	}
+	// On the favourable layout the reordering must not collapse.
+	rrS := run(RoundRobin, stream.Staggered)
+	hfS := run(HitFirst, stream.Staggered)
+	if hfS < rrS-8 {
+		t.Errorf("staggered: hit-first %.1f%% collapsed vs round-robin %.1f%%", hfS, rrS)
+	}
+	// Functional correctness under the reordering policy.
+	f, _ := stream.FactoryByName("vaxpy")
+	bases := stream.MustLayout(addrmap.PI, g, 4, f.Footprints(256, 1), stream.Aligned)
+	k := f.Make(bases, 256, 1)
+	dev := rdram.NewDevice(rdram.DefaultConfig())
+	shadow := seedVectors(dev, addrmap.PI, 4, k)
+	if _, err := Run(dev, k, Config{Scheme: addrmap.PI, LineWords: 4, FIFODepth: 16, Policy: HitFirst, SpeculateActivate: true}); err != nil {
+		t.Fatal(err)
+	}
+	verifyFunctional(t, dev, addrmap.PI, 4, k, shadow)
+}

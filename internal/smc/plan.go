@@ -1,0 +1,130 @@
+// Package smc implements the paper's Stream Memory Controller: a Stream
+// Buffer Unit (SBU) of per-stream FIFOs between the processor and memory,
+// and a Memory Scheduling Unit (MSU) that prefetches read streams, buffers
+// write streams, and reorders the memory accesses to maximize effective
+// bandwidth (§3).
+//
+// The processor drains/fills the FIFO heads in the computation's natural
+// order at the matched bandwidth of one 64-bit word per t_PACK/w_p cycles;
+// the MSU services one FIFO at a time, performing as many accesses as
+// possible for the current FIFO before moving on (the paper's round-robin
+// policy), or using one of the extension policies the paper's §6 sketches.
+package smc
+
+import (
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/stream"
+)
+
+// group is one DATA-packet's worth of stream traffic: the packet a set of
+// consecutive stream elements maps to. For unit strides a group carries two
+// elements; for larger strides usually one.
+type group struct {
+	loc   addrmap.Loc // packet coordinates (Word is 0)
+	elems []int       // element indices served by this packet, ascending
+	words []int       // word-within-packet of each element
+}
+
+// planStream splits a stream's elements into packet groups in element
+// order. Direct RDRAM transfers whole 128-bit packets, so this is the
+// schedule of device accesses the MSU performs for the stream.
+func planStream(m *addrmap.Mapper, s stream.Stream) []group {
+	var groups []group
+	var cur *group
+	curPacket := int64(-1)
+	for i := 0; i < s.Length; i++ {
+		addr := s.Addr(i)
+		pkt := addrmap.PacketAddr(addr)
+		if pkt != curPacket {
+			loc := m.Map(pkt)
+			groups = append(groups, group{loc: loc})
+			cur = &groups[len(groups)-1]
+			curPacket = pkt
+		}
+		cur.elems = append(cur.elems, i)
+		cur.words = append(cur.words, int(addr-curPacket))
+	}
+	return groups
+}
+
+// sameRowAs reports whether two groups address the same open row.
+func (g group) sameRowAs(o group) bool {
+	return g.loc.Bank == o.loc.Bank && g.loc.Row == o.loc.Row
+}
+
+const unscheduled = int64(-1)
+
+// readFIFO is the SBU buffer for one read stream. The MSU appends arriving
+// elements; the CPU pops them in order from the memory-mapped head.
+type readFIFO struct {
+	groups    []group
+	nextFetch int // next group the MSU will fetch
+
+	avail  []int64  // arrival time (DataEnd) per issued element, in order
+	values []uint64 // element values, aligned with avail
+	popped int      // elements the CPU has consumed
+
+	issued int // elements fetched or in flight
+	depth  int
+}
+
+// canFetch reports whether the MSU may issue the next packet for this
+// stream without overflowing the FIFO.
+func (f *readFIFO) canFetch() bool {
+	if f.nextFetch >= len(f.groups) {
+		return false
+	}
+	return f.issued-f.popped+len(f.groups[f.nextFetch].elems) <= f.depth
+}
+
+// headAvail returns when the CPU's next element is (or will be) available,
+// or unscheduled if the MSU has not fetched it yet.
+func (f *readFIFO) headAvail() int64 {
+	if f.popped >= len(f.avail) {
+		return unscheduled
+	}
+	return f.avail[f.popped]
+}
+
+// writeFIFO is the SBU buffer for one write stream. The CPU pushes store
+// values in order; the MSU drains whole packets to memory.
+type writeFIFO struct {
+	groups    []group
+	nextDrain int
+
+	pushedAt []int64  // push completion time per element, in order
+	values   []uint64 // pushed values, aligned
+	drainAt  []int64  // DataEnd per drained element, in order
+
+	depth int
+}
+
+// canDrain reports whether the next packet's elements have all been pushed.
+func (f *writeFIFO) canDrain() bool {
+	if f.nextDrain >= len(f.groups) {
+		return false
+	}
+	g := f.groups[f.nextDrain]
+	return len(f.pushedAt) >= g.elems[len(g.elems)-1]+1
+}
+
+// drainReady is the earliest time the next packet's data is in the FIFO.
+func (f *writeFIFO) drainReady() int64 {
+	g := f.groups[f.nextDrain]
+	return f.pushedAt[g.elems[len(g.elems)-1]]
+}
+
+// slotFreeAt returns the earliest time the CPU can push its next element:
+// immediately if the FIFO has room, otherwise when the MSU drains the
+// oldest occupant.
+func (f *writeFIFO) slotFreeAt() int64 {
+	pushed := len(f.pushedAt)
+	if pushed < f.depth {
+		return 0
+	}
+	idx := pushed - f.depth
+	if idx < len(f.drainAt) {
+		return f.drainAt[idx]
+	}
+	return unscheduled // FIFO full and the freeing drain not yet issued
+}

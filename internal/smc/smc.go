@@ -1,0 +1,467 @@
+package smc
+
+import (
+	"fmt"
+	"math"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/cpu"
+	"rdramstream/internal/rdram"
+	"rdramstream/internal/stream"
+)
+
+// Policy selects the MSU's FIFO-scheduling algorithm.
+type Policy int
+
+const (
+	// RoundRobin is the paper's simple policy: consider each FIFO in turn,
+	// performing as many accesses as possible for the current FIFO before
+	// moving on (§4.2).
+	RoundRobin Policy = iota
+	// BankAware is the extension Hong's thesis investigates: among the
+	// FIFOs that are ready for a transfer, pick the one whose target bank
+	// can be accessed soonest, avoiding bank-conflict stalls.
+	BankAware
+	// HitFirst is the other §6 proposal: "an MSU that overlaps activity
+	// for another FIFO with the latency of the precharge and row activate
+	// commands". Among ready FIFOs it prefers one whose next access hits
+	// an already-open row, letting page misses' row latency hide behind
+	// other FIFOs' transfers. Pairs naturally with SpeculateActivate.
+	HitFirst
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case BankAware:
+		return "bank-aware"
+	case HitFirst:
+		return "hit-first"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes an SMC simulation.
+type Config struct {
+	// Scheme pairs the interleaving with its precharge policy, as in the
+	// paper: CLI closed-page, PI open-page.
+	Scheme addrmap.Scheme
+	// LineWords is the cacheline size in words; it only determines the CLI
+	// address interleaving granularity (the SMC itself transfers packets).
+	LineWords int
+	// FIFODepth is the per-stream SBU buffer depth in 64-bit elements (the
+	// paper's f, swept from 8 to 128).
+	FIFODepth int
+	// Policy selects the MSU scheduling algorithm.
+	Policy Policy
+	// SpeculateActivate enables the §6 extension: when the MSU issues the
+	// last access a stream has in its current DRAM page, it speculatively
+	// precharges/activates the next page's bank so the stream never stalls
+	// on a page crossing. Only meaningful for PI (open-page) systems.
+	SpeculateActivate bool
+}
+
+// DefaultConfig returns the paper's base SMC configuration: CLI, 32-byte
+// lines, 32-element FIFOs, round-robin scheduling.
+func DefaultConfig() Config {
+	return Config{Scheme: addrmap.CLI, LineWords: 4, FIFODepth: 32}
+}
+
+// Result summarizes one SMC simulation.
+type Result struct {
+	// Cycles is the end-to-end time: every CPU access performed and every
+	// buffered write retired to memory.
+	Cycles int64
+	// UsefulWords is iterations × streams: the elements the processor
+	// consumed or produced.
+	UsefulWords int64
+	// TransferredWords counts whole packets moved on the data bus.
+	TransferredWords int64
+	// PercentPeak is effective bandwidth versus the device's 1.6 GB/s peak.
+	PercentPeak float64
+	// PercentAttainable rescales by the densest possible packing for the
+	// stride (Figure 9's y-axis: non-unit strides can use at most one word
+	// of each two-word packet, so attainable bandwidth is 50% of peak).
+	PercentAttainable float64
+	// CPUStallCycles is the time the processor spent blocked on an empty
+	// read FIFO or a full write FIFO.
+	CPUStallCycles int64
+	// Device holds the device's operation counters.
+	Device rdram.Stats
+}
+
+// Run simulates kernel k through an SMC over the device. Device memory is
+// read and written functionally, so callers can verify the results.
+func Run(dev *rdram.Device, k *stream.Kernel, cfg Config) (Result, error) {
+	if cfg.FIFODepth < rdram.WordsPerPacket {
+		return Result{}, fmt.Errorf("smc: FIFODepth must be at least %d, got %d", rdram.WordsPerPacket, cfg.FIFODepth)
+	}
+	if cfg.LineWords <= 0 || cfg.LineWords%rdram.WordsPerPacket != 0 {
+		return Result{}, fmt.Errorf("smc: LineWords must be a positive multiple of %d, got %d", rdram.WordsPerPacket, cfg.LineWords)
+	}
+	mapper, err := addrmap.New(cfg.Scheme, dev.Config().Geometry, cfg.LineWords)
+	if err != nil {
+		return Result{}, err
+	}
+	walker, err := cpu.NewWalker(k)
+	if err != nil {
+		return Result{}, err
+	}
+
+	s := &sim{
+		dev:    dev,
+		mapper: mapper,
+		cfg:    cfg,
+		walker: walker,
+		k:      k,
+		nr:     k.ReadStreams(),
+		xfer:   int64(dev.Config().Timing.TPack / rdram.WordsPerPacket),
+	}
+	for i, st := range k.Streams {
+		groups := planStream(mapper, st)
+		if i < s.nr {
+			s.reads = append(s.reads, &readFIFO{groups: groups, depth: cfg.FIFODepth})
+		} else {
+			s.writes = append(s.writes, &writeFIFO{groups: groups, depth: cfg.FIFODepth})
+		}
+	}
+	if err := s.run(); err != nil {
+		return Result{}, err
+	}
+
+	st := dev.Stats()
+	res := Result{
+		Cycles:           max64(s.cpuTime, st.LastDataEnd),
+		UsefulWords:      int64(k.Iterations()) * int64(len(k.Streams)),
+		TransferredWords: st.PacketCount() * rdram.WordsPerPacket,
+		CPUStallCycles:   s.cpuStall,
+		Device:           st,
+	}
+	if res.Cycles > 0 {
+		peak := dev.Config().Timing.CyclesPerWordPeak()
+		res.PercentPeak = 100 * float64(res.UsefulWords) * peak / float64(res.Cycles)
+		res.PercentAttainable = res.PercentPeak
+		if res.TransferredWords > 0 {
+			frac := float64(res.UsefulWords) / float64(res.TransferredWords)
+			if frac < 1 {
+				res.PercentAttainable = res.PercentPeak / frac
+			}
+		}
+	}
+	return res, nil
+}
+
+type sim struct {
+	dev    *rdram.Device
+	mapper *addrmap.Mapper
+	cfg    Config
+	k      *stream.Kernel
+	nr     int
+	xfer   int64 // CPU cycles per element at matched bandwidth
+
+	reads  []*readFIFO
+	writes []*writeFIFO
+
+	walker   *cpu.Walker
+	pending  *cpu.Access
+	cpuTime  int64
+	cpuStall int64
+	cpuDone  bool
+
+	msuTime int64
+	current int // round-robin cursor over all FIFOs (reads then writes)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// run drives the CPU and MSU to completion.
+func (s *sim) run() error {
+	for {
+		s.cpuAdvance(s.msuTime)
+		if s.cpuDone && !s.msuHasWork() {
+			return nil
+		}
+		if s.issueOne() {
+			continue
+		}
+		// Nothing issuable at msuTime: jump to the next CPU event, which
+		// is the only thing that can change FIFO occupancy.
+		t := s.cpuNextEvent()
+		if t == unscheduled || t <= s.msuTime {
+			if s.cpuDone && !s.msuHasWork() {
+				return nil
+			}
+			return fmt.Errorf("smc: stalled at cycle %d with work remaining (MSU idle, CPU blocked)", s.msuTime)
+		}
+		s.msuTime = t
+	}
+}
+
+// msuHasWork reports whether any stream still has packets to move.
+func (s *sim) msuHasWork() bool {
+	for _, f := range s.reads {
+		if f.nextFetch < len(f.groups) {
+			return true
+		}
+	}
+	for _, f := range s.writes {
+		if f.nextDrain < len(f.groups) {
+			return true
+		}
+	}
+	return false
+}
+
+// fifoCount is the number of FIFOs the MSU cycles over.
+func (s *sim) fifoCount() int { return len(s.reads) + len(s.writes) }
+
+// canService reports whether FIFO i can accept an access right now, and
+// the earliest time the access's data could move.
+func (s *sim) canService(i int) (bool, int64) {
+	if i < s.nr {
+		f := s.reads[i]
+		return f.canFetch(), s.msuTime
+	}
+	f := s.writes[i-s.nr]
+	if !f.canDrain() {
+		return false, 0
+	}
+	return true, max64(s.msuTime, f.drainReady())
+}
+
+// issueOne lets the scheduling policy pick a FIFO and issues one packet
+// for it. It reports whether anything was issued.
+func (s *sim) issueOne() bool {
+	n := s.fifoCount()
+	switch s.cfg.Policy {
+	case BankAware:
+		// Among ready FIFOs, pick the one whose target bank is accessible
+		// soonest; ties go to round-robin order from the cursor.
+		best, bestAt := -1, int64(math.MaxInt64)
+		for off := 0; off < n; off++ {
+			i := (s.current + off) % n
+			ok, at := s.canService(i)
+			if !ok {
+				continue
+			}
+			g := s.nextGroup(i)
+			ready := s.dev.AccessReadyAt(g.loc.Bank, g.loc.Row, at)
+			if ready < bestAt {
+				best, bestAt = i, ready
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		s.current = best
+		s.issue(best)
+		return true
+	case HitFirst:
+		// First serviceable FIFO in rotation whose access hits an open
+		// row wins; otherwise fall back to plain rotation order, so a
+		// round of all-misses still progresses.
+		fallback := -1
+		for off := 0; off < n; off++ {
+			i := (s.current + off) % n
+			ok, _ := s.canService(i)
+			if !ok {
+				continue
+			}
+			if fallback < 0 {
+				fallback = i
+			}
+			g := s.nextGroup(i)
+			if row, open := s.dev.BankOpenRow(g.loc.Bank); open && row == g.loc.Row {
+				s.current = i
+				s.issue(i)
+				return true
+			}
+		}
+		if fallback < 0 {
+			return false
+		}
+		s.current = fallback
+		s.issue(fallback)
+		return true
+	default: // RoundRobin
+		for off := 0; off < n; off++ {
+			i := (s.current + off) % n
+			if ok, _ := s.canService(i); ok {
+				// Stay on this FIFO: subsequent calls keep servicing it
+				// until it cannot proceed, then the scan moves past it.
+				s.current = i
+				s.issue(i)
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// nextGroup returns the group FIFO i would issue next.
+func (s *sim) nextGroup(i int) group {
+	if i < s.nr {
+		f := s.reads[i]
+		return f.groups[f.nextFetch]
+	}
+	f := s.writes[i-s.nr]
+	return f.groups[f.nextDrain]
+}
+
+// issue performs one packet access for FIFO i.
+func (s *sim) issue(i int) {
+	g := s.nextGroup(i)
+	var next *group
+	if i < s.nr {
+		f := s.reads[i]
+		if f.nextFetch+1 < len(f.groups) {
+			next = &f.groups[f.nextFetch+1]
+		}
+	} else {
+		f := s.writes[i-s.nr]
+		if f.nextDrain+1 < len(f.groups) {
+			next = &f.groups[f.nextDrain+1]
+		}
+	}
+	// Closed-page policy: precharge when this stream's burst leaves the
+	// row (the next group for this stream is elsewhere).
+	autoPre := s.cfg.Scheme == addrmap.CLI && (next == nil || !g.sameRowAs(*next))
+
+	req := rdram.Request{
+		Bank: g.loc.Bank, Row: g.loc.Row, Col: g.loc.Col,
+		AutoPrecharge: autoPre,
+	}
+	at := s.msuTime
+	if i >= s.nr {
+		f := s.writes[i-s.nr]
+		req.Write = true
+		at = max64(at, f.drainReady())
+		// Assemble the packet: pushed values where the stream stores,
+		// current memory contents elsewhere (partial packets at stream
+		// edges or non-unit strides).
+		base := s.mapper.Unmap(addrmap.Loc{Bank: g.loc.Bank, Row: g.loc.Row, Col: g.loc.Col})
+		for w := 0; w < rdram.WordsPerPacket; w++ {
+			req.Data[w] = s.peek(base + int64(w))
+		}
+		for j, e := range g.elems {
+			req.Data[g.words[j]] = f.values[e]
+		}
+	}
+
+	// The MSU pipelines command issue: its next scheduling decision is
+	// made one command-lead-time (t_RAC) ahead of this access's data, so
+	// row/column packets for the following access overlap this one's data
+	// transfer (as the Direct RDRAM interface intends), while FIFO
+	// occupancy is still evaluated at a realistic point in time.
+	res := s.dev.Do(at, req)
+	if lead := res.DataStart - int64(s.dev.Config().Timing.TRAC()); lead > s.msuTime {
+		s.msuTime = lead
+	}
+
+	if i < s.nr {
+		f := s.reads[i]
+		for j := range g.elems {
+			f.values = append(f.values, res.Data[g.words[j]])
+			f.avail = append(f.avail, res.DataEnd)
+		}
+		f.issued += len(g.elems)
+		f.nextFetch++
+	} else {
+		f := s.writes[i-s.nr]
+		for range g.elems {
+			f.drainAt = append(f.drainAt, res.DataEnd)
+		}
+		f.nextDrain++
+	}
+
+	// §6 extension: when a stream finishes its accesses to a DRAM page,
+	// open the next page it will touch while other FIFOs use the bus.
+	if s.cfg.SpeculateActivate && s.cfg.Scheme == addrmap.PI &&
+		next != nil && !g.sameRowAs(*next) {
+		s.dev.ActivateBank(next.loc.Bank, next.loc.Row, s.msuTime)
+	}
+}
+
+// cpuAdvance processes the processor's natural-order accesses whose
+// completion does not exceed limit.
+func (s *sim) cpuAdvance(limit int64) {
+	for {
+		if s.pending == nil {
+			a, ok := s.walker.Next()
+			if !ok {
+				s.cpuDone = true
+				return
+			}
+			s.pending = &a
+		}
+		a := s.pending
+		var start int64
+		if a.Write {
+			f := s.writes[a.Stream-s.nr]
+			free := f.slotFreeAt()
+			if free == unscheduled {
+				return // blocked until the MSU drains
+			}
+			start = max64(s.cpuTime, free)
+		} else {
+			f := s.reads[a.Stream]
+			avail := f.headAvail()
+			if avail == unscheduled {
+				return // blocked until the MSU fetches
+			}
+			start = max64(s.cpuTime, avail)
+		}
+		done := start + s.xfer
+		if done > limit {
+			return
+		}
+		s.cpuStall += start - s.cpuTime
+		s.cpuTime = done
+		if a.Write {
+			f := s.writes[a.Stream-s.nr]
+			f.pushedAt = append(f.pushedAt, done)
+			f.values = append(f.values, a.Value)
+		} else {
+			f := s.reads[a.Stream]
+			s.walker.SupplyRead(f.values[f.popped])
+			f.popped++
+		}
+		s.pending = nil
+	}
+}
+
+// cpuNextEvent returns the completion time of the CPU's next access, if it
+// is schedulable, or unscheduled if the CPU is waiting on the MSU.
+func (s *sim) cpuNextEvent() int64 {
+	if s.pending == nil {
+		if s.cpuDone {
+			return unscheduled
+		}
+		// cpuAdvance always leaves a pending access unless done.
+		return unscheduled
+	}
+	a := s.pending
+	var wait int64
+	if a.Write {
+		wait = s.writes[a.Stream-s.nr].slotFreeAt()
+	} else {
+		wait = s.reads[a.Stream].headAvail()
+	}
+	if wait == unscheduled {
+		return unscheduled
+	}
+	return max64(s.cpuTime, wait) + s.xfer
+}
+
+// peek reads device storage without timing.
+func (s *sim) peek(addr int64) uint64 {
+	loc := s.mapper.Map(addr)
+	return s.dev.PeekWord(loc.Bank, loc.Row, loc.Col, loc.Word)
+}

@@ -1,0 +1,56 @@
+package smc
+
+import (
+	"fmt"
+
+	"rdramstream/internal/rdram"
+	"rdramstream/internal/stream"
+)
+
+// DepthResult is one point of a FIFO-depth search.
+type DepthResult struct {
+	Depth       int
+	PercentPeak float64
+	Cycles      int64
+}
+
+// TuneDepth runs the kernel at each candidate FIFO depth on a fresh device
+// and returns the smallest depth whose bandwidth is within tolerance
+// percentage points of the best observed, along with every measurement.
+//
+// The paper's §6 observes that, unlike the fast-page-mode SMC (which had a
+// compile-time depth formula), "the best FIFO depth must be chosen
+// experimentally" for Rambus systems — this is that experiment, packaged.
+// A typical call uses depths {8,16,32,64,128} and a tolerance of 2-3
+// points; smaller FIFOs cost less hardware, so the smallest near-optimal
+// depth wins.
+func TuneDepth(devCfg rdram.Config, k *stream.Kernel, cfg Config, depths []int, tolerance float64) (int, []DepthResult, error) {
+	if len(depths) == 0 {
+		return 0, nil, fmt.Errorf("smc: no candidate depths")
+	}
+	if tolerance < 0 {
+		return 0, nil, fmt.Errorf("smc: negative tolerance %v", tolerance)
+	}
+	results := make([]DepthResult, 0, len(depths))
+	best := 0.0
+	for _, d := range depths {
+		c := cfg
+		c.FIFODepth = d
+		dev := rdram.NewDevice(devCfg)
+		res, err := Run(dev, k, c)
+		if err != nil {
+			return 0, nil, fmt.Errorf("smc: depth %d: %w", d, err)
+		}
+		results = append(results, DepthResult{Depth: d, PercentPeak: res.PercentPeak, Cycles: res.Cycles})
+		if res.PercentPeak > best {
+			best = res.PercentPeak
+		}
+	}
+	choice := -1
+	for _, r := range results {
+		if r.PercentPeak >= best-tolerance && (choice < 0 || r.Depth < choice) {
+			choice = r.Depth
+		}
+	}
+	return choice, results, nil
+}

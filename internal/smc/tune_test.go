@@ -1,0 +1,96 @@
+package smc
+
+import (
+	"testing"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/rdram"
+	"rdramstream/internal/stream"
+)
+
+func tuneKernel(t *testing.T, scheme addrmap.Scheme, n int) *stream.Kernel {
+	t.Helper()
+	f, _ := stream.FactoryByName("vaxpy")
+	g := rdram.DefaultGeometry()
+	bases := stream.MustLayout(scheme, g, 4, f.Footprints(n, 1), stream.Staggered)
+	return f.Make(bases, n, 1)
+}
+
+func TestTuneDepthPicksSmallestNearOptimal(t *testing.T) {
+	k := tuneKernel(t, addrmap.PI, 1024)
+	cfg := Config{Scheme: addrmap.PI, LineWords: 4}
+	depths := []int{8, 16, 32, 64, 128}
+	choice, results, err := TuneDepth(rdram.DefaultConfig(), k, cfg, depths, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(depths) {
+		t.Fatalf("results = %d", len(results))
+	}
+	// The choice must be near-optimal and no deeper than the best point.
+	best := 0.0
+	for _, r := range results {
+		if r.PercentPeak > best {
+			best = r.PercentPeak
+		}
+	}
+	var chosen DepthResult
+	for _, r := range results {
+		if r.Depth == choice {
+			chosen = r
+		}
+	}
+	if chosen.Depth == 0 {
+		t.Fatalf("choice %d not among results", choice)
+	}
+	if chosen.PercentPeak < best-3 {
+		t.Errorf("chosen depth %d at %.1f%% is not within tolerance of best %.1f%%", choice, chosen.PercentPeak, best)
+	}
+	// A shallower depth must not also be within tolerance.
+	for _, r := range results {
+		if r.Depth < choice && r.PercentPeak >= best-3 {
+			t.Errorf("depth %d already within tolerance; choice %d too deep", r.Depth, choice)
+		}
+	}
+}
+
+func TestTuneDepthZeroToleranceFindsPeak(t *testing.T) {
+	k := tuneKernel(t, addrmap.CLI, 512)
+	cfg := Config{Scheme: addrmap.CLI, LineWords: 4}
+	choice, results, err := TuneDepth(rdram.DefaultConfig(), k, cfg, []int{8, 32, 128}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	bestDepth := 0
+	for _, r := range results {
+		if r.PercentPeak > best {
+			best, bestDepth = r.PercentPeak, r.Depth
+		}
+	}
+	// With zero tolerance the choice is a depth achieving the maximum
+	// (the smallest such depth).
+	var chosen float64
+	for _, r := range results {
+		if r.Depth == choice {
+			chosen = r.PercentPeak
+		}
+	}
+	if chosen != best {
+		t.Errorf("choice %d at %.2f%% is not the best %.2f%% (depth %d)", choice, chosen, best, bestDepth)
+	}
+}
+
+func TestTuneDepthErrors(t *testing.T) {
+	k := tuneKernel(t, addrmap.CLI, 64)
+	cfg := Config{Scheme: addrmap.CLI, LineWords: 4}
+	if _, _, err := TuneDepth(rdram.DefaultConfig(), k, cfg, nil, 1); err == nil {
+		t.Error("expected error for empty depth list")
+	}
+	if _, _, err := TuneDepth(rdram.DefaultConfig(), k, cfg, []int{8}, -1); err == nil {
+		t.Error("expected error for negative tolerance")
+	}
+	if _, _, err := TuneDepth(rdram.DefaultConfig(), k, cfg, []int{1}, 1); err == nil {
+		t.Error("expected error for sub-packet depth")
+	}
+}

@@ -1,0 +1,215 @@
+package stream
+
+import "fmt"
+
+// The benchmark kernels of the paper's Figure 4, plus a few common
+// streaming kernels used by the extension benches. Each factory takes the
+// base word addresses of its *vectors* (see Factory.Vectors for the count
+// and order), the element count n, and the element stride in words.
+
+// Copy builds y[i] = x[i] (BLAS copy): one read stream, one write stream.
+func Copy(xBase, yBase int64, n int, stride int64) *Kernel {
+	return &Kernel{
+		Name: "copy",
+		Streams: []Stream{
+			{Name: "x", Base: xBase, Stride: stride, Length: n, Mode: Read},
+			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Write},
+		},
+		Compute: func(_ int, in []float64) []float64 { return []float64{in[0]} },
+	}
+}
+
+// Daxpy builds y[i] = a*x[i] + y[i] (BLAS daxpy): two read streams and one
+// write stream over two vectors — y is read-modify-write.
+func Daxpy(a float64, xBase, yBase int64, n int, stride int64) *Kernel {
+	return &Kernel{
+		Name: "daxpy",
+		Streams: []Stream{
+			{Name: "x", Base: xBase, Stride: stride, Length: n, Mode: Read},
+			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Read},
+			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Write},
+		},
+		Compute: func(_ int, in []float64) []float64 { return []float64{a*in[0] + in[1]} },
+	}
+}
+
+// Hydro builds the Livermore hydro fragment
+// x[i] = q + y[i]*(r*zx[i+10] + t*zx[i+11]): three read streams (y and two
+// offset views of zx) and one write stream. The zx vector must extend 11
+// elements past n.
+func Hydro(q, r, t float64, xBase, yBase, zxBase int64, n int, stride int64) *Kernel {
+	return &Kernel{
+		Name: "hydro",
+		Streams: []Stream{
+			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Read},
+			{Name: "zx+10", Base: zxBase + 10*stride, Stride: stride, Length: n, Mode: Read},
+			{Name: "zx+11", Base: zxBase + 11*stride, Stride: stride, Length: n, Mode: Read},
+			{Name: "x", Base: xBase, Stride: stride, Length: n, Mode: Write},
+		},
+		Compute: func(_ int, in []float64) []float64 {
+			return []float64{q + in[0]*(r*in[1]+t*in[2])}
+		},
+	}
+}
+
+// Vaxpy builds y[i] = a[i]*x[i] + y[i] (vector axpy, as in matrix-vector
+// multiplication by diagonals): three read streams and one write stream
+// over three vectors.
+func Vaxpy(aBase, xBase, yBase int64, n int, stride int64) *Kernel {
+	return &Kernel{
+		Name: "vaxpy",
+		Streams: []Stream{
+			{Name: "a", Base: aBase, Stride: stride, Length: n, Mode: Read},
+			{Name: "x", Base: xBase, Stride: stride, Length: n, Mode: Read},
+			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Read},
+			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Write},
+		},
+		Compute: func(_ int, in []float64) []float64 { return []float64{in[0]*in[1] + in[2]} },
+	}
+}
+
+// Scale builds y[i] = a*x[i] (STREAM scale).
+func Scale(a float64, xBase, yBase int64, n int, stride int64) *Kernel {
+	k := Copy(xBase, yBase, n, stride)
+	k.Name = "scale"
+	k.Compute = func(_ int, in []float64) []float64 { return []float64{a * in[0]} }
+	return k
+}
+
+// Sum builds y[i] = x1[i] + x2[i] (STREAM add).
+func Sum(x1Base, x2Base, yBase int64, n int, stride int64) *Kernel {
+	return &Kernel{
+		Name: "sum",
+		Streams: []Stream{
+			{Name: "x1", Base: x1Base, Stride: stride, Length: n, Mode: Read},
+			{Name: "x2", Base: x2Base, Stride: stride, Length: n, Mode: Read},
+			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Write},
+		},
+		Compute: func(_ int, in []float64) []float64 { return []float64{in[0] + in[1]} },
+	}
+}
+
+// Triad builds y[i] = x1[i] + a*x2[i] (STREAM triad).
+func Triad(a float64, x1Base, x2Base, yBase int64, n int, stride int64) *Kernel {
+	k := Sum(x1Base, x2Base, yBase, n, stride)
+	k.Name = "triad"
+	k.Compute = func(_ int, in []float64) []float64 { return []float64{in[0] + a*in[1]} }
+	return k
+}
+
+// Swap builds {t = x[i]; x[i] = y[i]; y[i] = t}: two read streams and two
+// write streams over two vectors — the heaviest write mix of the classic
+// streaming kernels, exercising multiple write FIFOs.
+func Swap(xBase, yBase int64, n int, stride int64) *Kernel {
+	return &Kernel{
+		Name: "swap",
+		Streams: []Stream{
+			{Name: "x", Base: xBase, Stride: stride, Length: n, Mode: Read},
+			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Read},
+			{Name: "x", Base: xBase, Stride: stride, Length: n, Mode: Write},
+			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Write},
+		},
+		Compute: func(_ int, in []float64) []float64 { return []float64{in[1], in[0]} },
+	}
+}
+
+// MultiStream builds a synthetic kernel with sr read streams and sw write
+// streams over sr+sw distinct vectors — the paper's "computation on eight
+// independent, unit-stride streams (seven read-streams and one
+// write-stream)" experiment is MultiStream with sr=7, sw=1. Each write
+// stream stores the sum of all values read.
+func MultiStream(sr, sw int, bases []int64, n int, stride int64) *Kernel {
+	if len(bases) != sr+sw {
+		panic(fmt.Sprintf("stream: MultiStream needs %d bases, got %d", sr+sw, len(bases)))
+	}
+	k := &Kernel{Name: fmt.Sprintf("multi-%dr%dw", sr, sw)}
+	for i := 0; i < sr; i++ {
+		k.Streams = append(k.Streams, Stream{
+			Name: fmt.Sprintf("r%d", i), Base: bases[i], Stride: stride, Length: n, Mode: Read,
+		})
+	}
+	for i := 0; i < sw; i++ {
+		k.Streams = append(k.Streams, Stream{
+			Name: fmt.Sprintf("w%d", i), Base: bases[sr+i], Stride: stride, Length: n, Mode: Write,
+		})
+	}
+	k.Compute = func(_ int, in []float64) []float64 {
+		var sum float64
+		for _, v := range in {
+			sum += v
+		}
+		out := make([]float64, sw)
+		for i := range out {
+			out[i] = sum + float64(i)
+		}
+		return out
+	}
+	return k
+}
+
+// Factory describes a kernel constructor generically, for sweep harnesses:
+// how many vectors it needs, their footprints, and how to build it from a
+// set of vector base addresses.
+type Factory struct {
+	Name    string
+	Vectors int
+	// Footprints returns the words of memory each vector occupies for a
+	// given element count and stride.
+	Footprints func(n int, stride int64) []int64
+	// Make builds the kernel at the given vector base addresses.
+	Make func(bases []int64, n int, stride int64) *Kernel
+}
+
+func denseFootprints(count int) func(n int, stride int64) []int64 {
+	return func(n int, stride int64) []int64 {
+		out := make([]int64, count)
+		for i := range out {
+			out[i] = int64(n) * stride
+		}
+		return out
+	}
+}
+
+// Benchmarks lists the paper's four kernels in Figure 4 order.
+var Benchmarks = []Factory{
+	{
+		Name: "copy", Vectors: 2,
+		Footprints: denseFootprints(2),
+		Make: func(b []int64, n int, stride int64) *Kernel {
+			return Copy(b[0], b[1], n, stride)
+		},
+	},
+	{
+		Name: "daxpy", Vectors: 2,
+		Footprints: denseFootprints(2),
+		Make: func(b []int64, n int, stride int64) *Kernel {
+			return Daxpy(3.0, b[0], b[1], n, stride)
+		},
+	},
+	{
+		Name: "hydro", Vectors: 3,
+		Footprints: func(n int, stride int64) []int64 {
+			return []int64{int64(n) * stride, int64(n) * stride, int64(n+11) * stride}
+		},
+		Make: func(b []int64, n int, stride int64) *Kernel {
+			return Hydro(0.5, 2.0, 3.0, b[0], b[1], b[2], n, stride)
+		},
+	},
+	{
+		Name: "vaxpy", Vectors: 3,
+		Footprints: denseFootprints(3),
+		Make: func(b []int64, n int, stride int64) *Kernel {
+			return Vaxpy(b[0], b[1], b[2], n, stride)
+		},
+	},
+}
+
+// FactoryByName finds a Factory in Benchmarks.
+func FactoryByName(name string) (Factory, bool) {
+	for _, f := range Benchmarks {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Factory{}, false
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/rdram"
+)
+
+// TraceAccess is one request of an externally supplied address trace.
+type TraceAccess struct {
+	Addr  int64 // 64-bit-word address
+	Write bool
+}
+
+// ParseTrace reads a text trace: one access per line, "R <addr>" or
+// "W <addr>" with the address in decimal or 0x-hex. Blank lines and lines
+// starting with '#' are skipped.
+func ParseTrace(r io.Reader) ([]TraceAccess, error) {
+	var out []TraceAccess
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("workload: trace line %d: want \"R|W <addr>\", got %q", line, text)
+		}
+		var write bool
+		switch strings.ToUpper(fields[0]) {
+		case "R":
+		case "W":
+			write = true
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: unknown op %q", line, fields[0])
+		}
+		addr, err := strconv.ParseInt(fields[1], 0, 64)
+		if err != nil || addr < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad address %q", line, fields[1])
+		}
+		out = append(out, TraceAccess{Addr: addr, Write: write})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return out, nil
+}
+
+// Replay services an externally supplied word-level access trace with the
+// conventional pipelined controller: each access becomes a cacheline
+// transaction (deduplicated against the previously fetched line, like a
+// trivial one-line buffer per trace), issued in order.
+func Replay(dev *rdram.Device, cfg Config, accs []TraceAccess) (Result, error) {
+	if len(accs) == 0 {
+		return Result{}, fmt.Errorf("workload: empty trace")
+	}
+	if cfg.LineWords <= 0 || cfg.LineWords%rdram.WordsPerPacket != 0 {
+		return Result{}, fmt.Errorf("workload: bad LineWords %d", cfg.LineWords)
+	}
+	mapper, err := addrmap.New(cfg.Scheme, dev.Config().Geometry, cfg.LineWords)
+	if err != nil {
+		return Result{}, err
+	}
+	outstanding := cfg.Outstanding
+	if outstanding <= 0 {
+		outstanding = rdram.MaxOutstanding
+	}
+	packets := cfg.LineWords / rdram.WordsPerPacket
+	autoPre := cfg.Scheme == addrmap.CLI
+	capacity := mapper.CapacityWords()
+
+	var inflight []int64
+	var lines int64
+	lastLine := int64(-1)
+	for i, a := range accs {
+		if a.Addr >= capacity {
+			return Result{}, fmt.Errorf("workload: trace access %d address %d exceeds device capacity %d", i, a.Addr, capacity)
+		}
+		line := a.Addr / int64(cfg.LineWords)
+		if line == lastLine {
+			continue // spatial locality absorbed by the line buffer
+		}
+		lastLine = line
+		lines++
+		at := int64(0)
+		if len(inflight) >= outstanding {
+			at = inflight[len(inflight)-outstanding]
+		}
+		base := line * int64(cfg.LineWords)
+		var complete int64
+		for p := 0; p < packets; p++ {
+			loc := mapper.Map(base + int64(p*rdram.WordsPerPacket))
+			res := dev.Do(at, rdram.Request{
+				Bank: loc.Bank, Row: loc.Row, Col: loc.Col,
+				Write:         a.Write,
+				AutoPrecharge: autoPre && p == packets-1,
+			})
+			complete = res.DataEnd
+		}
+		inflight = append(inflight, complete)
+	}
+
+	st := dev.Stats()
+	res := Result{Cycles: st.LastDataEnd, Lines: lines, HitRate: st.HitRate(), Device: st}
+	if res.Cycles > 0 {
+		words := st.PacketCount() * rdram.WordsPerPacket
+		res.PercentPeak = 100 * float64(words) * dev.Config().Timing.CyclesPerWordPeak() / float64(res.Cycles)
+	}
+	return res, nil
+}

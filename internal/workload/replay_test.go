@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/rdram"
+)
+
+func TestParseTrace(t *testing.T) {
+	in := `
+# a comment
+R 0
+W 0x10
+R 1024
+`
+	accs, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TraceAccess{{0, false}, {16, true}, {1024, false}}
+	if len(accs) != len(want) {
+		t.Fatalf("accs = %v", accs)
+	}
+	for i := range want {
+		if accs[i] != want[i] {
+			t.Errorf("access %d = %+v, want %+v", i, accs[i], want[i])
+		}
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	bad := []string{
+		"",             // empty
+		"X 5",          // bad op
+		"R",            // missing addr
+		"R notanumber", // bad addr
+		"W -5",         // negative
+		"R 1 2 3",      // too many fields
+	}
+	for i, in := range bad {
+		if _, err := ParseTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d (%q): expected error", i, in)
+		}
+	}
+}
+
+func TestReplaySequentialTraceStreams(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 4096; i++ {
+		fmt.Fprintf(&sb, "R %d\n", i)
+	}
+	accs, err := ParseTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := rdram.NewDevice(rdram.DefaultConfig())
+	res, err := Replay(dev, Config{Scheme: addrmap.PI, LineWords: 4}, accs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4096 word touches = 1024 distinct lines, absorbed spatially.
+	if res.Lines != 1024 {
+		t.Errorf("lines = %d, want 1024", res.Lines)
+	}
+	if res.PercentPeak < 90 {
+		t.Errorf("sequential replay = %.1f%%", res.PercentPeak)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	dev := rdram.NewDevice(rdram.DefaultConfig())
+	if _, err := Replay(dev, Config{Scheme: addrmap.CLI, LineWords: 4}, nil); err == nil {
+		t.Error("expected error for empty trace")
+	}
+	if _, err := Replay(dev, Config{Scheme: addrmap.CLI, LineWords: 3}, []TraceAccess{{0, false}}); err == nil {
+		t.Error("expected error for bad line size")
+	}
+	huge := []TraceAccess{{1 << 60, false}}
+	if _, err := Replay(dev, Config{Scheme: addrmap.CLI, LineWords: 4}, huge); err == nil {
+		t.Error("expected error for out-of-range address")
+	}
+}
+
+func TestReplayAlternatingWriteReadPaysTurnarounds(t *testing.T) {
+	// A pathological trace alternating write and read lines forces a bus
+	// turnaround per pair — well below the sequential read rate.
+	var accs []TraceAccess
+	for i := int64(0); i < 1024; i++ {
+		accs = append(accs, TraceAccess{Addr: i * 4, Write: i%2 == 0})
+	}
+	dev := rdram.NewDevice(rdram.DefaultConfig())
+	res, err := Replay(dev, Config{Scheme: addrmap.PI, LineWords: 4}, accs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := make([]TraceAccess, len(accs))
+	for i := range seq {
+		seq[i] = TraceAccess{Addr: accs[i].Addr}
+	}
+	dev2 := rdram.NewDevice(rdram.DefaultConfig())
+	res2, err := Replay(dev2, Config{Scheme: addrmap.PI, LineWords: 4}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PercentPeak >= res2.PercentPeak {
+		t.Errorf("alternating W/R (%.1f%%) should trail pure reads (%.1f%%)", res.PercentPeak, res2.PercentPeak)
+	}
+	if res.Device.Retires == 0 {
+		t.Error("expected retire activity from the alternation")
+	}
+}

@@ -1,0 +1,184 @@
+// Package rdramstream is a cycle-based study of access order and effective
+// bandwidth for streaming computations on a Direct Rambus DRAM, reproducing
+// Hong et al., "Access Order and Effective Bandwidth for Streams on a
+// Direct Rambus Memory" (HPCA 1999).
+//
+// It bundles:
+//
+//   - a packet-level Direct RDRAM device timing model (banks, sense amps,
+//     ROW/COL/DATA buses, open/closed page policies);
+//   - two memory organizations: cacheline interleaving with a closed-page
+//     policy (CLI) and page interleaving with an open-page policy (PI);
+//   - a natural-order cacheline controller (the conventional baseline);
+//   - a Stream Memory Controller (SMC): per-stream FIFOs plus a Memory
+//     Scheduling Unit that dynamically reorders stream accesses;
+//   - the paper's analytic performance bounds (§5); and
+//   - the benchmark kernels (copy, daxpy, hydro, vaxpy) and experiment
+//     harnesses that regenerate every figure and table.
+//
+// # Quickstart
+//
+//	out, err := rdramstream.Simulate(rdramstream.Scenario{
+//	    KernelName: "daxpy",
+//	    N:          1024,
+//	    Scheme:     rdramstream.PI,
+//	    Mode:       rdramstream.SMC,
+//	    FIFODepth:  128,
+//	    Placement:  rdramstream.Staggered,
+//	})
+//	// out.PercentPeak ≈ 95+: the SMC extracts nearly all of the device's
+//	// 1.6 GB/s for long unit-stride streams.
+//
+// Custom workloads build a Kernel from Streams (see SimulateKernel and
+// LayoutVectors), and the analytic bounds are available through Bounds.
+package rdramstream
+
+import (
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/analytic"
+	"rdramstream/internal/cache"
+	"rdramstream/internal/compiler"
+	"rdramstream/internal/rdram"
+	"rdramstream/internal/sim"
+	"rdramstream/internal/smc"
+	"rdramstream/internal/stream"
+)
+
+// Core workload types, re-exported from the implementation packages so
+// there is a single source of truth.
+type (
+	// Kernel is an inner loop over a set of streams.
+	Kernel = stream.Kernel
+	// Stream describes one vector access pattern (base, stride, length,
+	// direction).
+	Stream = stream.Stream
+	// Mode is a stream direction (Read or Write).
+	Mode = stream.Mode
+	// Scenario configures a simulation run.
+	Scenario = sim.Scenario
+	// Outcome reports bandwidth, traffic, and verification results.
+	Outcome = sim.Outcome
+	// Bounds evaluates the paper's §5 analytic models.
+	Bounds = analytic.Params
+	// DeviceConfig is the Direct RDRAM timing and geometry.
+	DeviceConfig = rdram.Config
+	// CacheConfig sizes the optional realistic processor cache in front of
+	// the natural-order controller (Scenario.Cache).
+	CacheConfig = cache.Config
+	// DeviceTiming is the set of Figure 2 timing parameters.
+	DeviceTiming = rdram.Timing
+	// Interleave selects the memory organization.
+	Interleave = addrmap.Scheme
+	// Placement selects the vector-to-bank alignment.
+	Placement = stream.Placement
+	// Controller selects the memory controller under test.
+	Controller = sim.Mode
+	// Policy selects the MSU scheduling algorithm.
+	Policy = smc.Policy
+)
+
+// Re-exported enum values.
+const (
+	// CLI is cacheline interleaving with a closed-page policy.
+	CLI = addrmap.CLI
+	// PI is page interleaving with an open-page policy.
+	PI = addrmap.PI
+
+	// Aligned places every vector base in the same bank (maximal
+	// conflicts); Staggered spreads them across banks.
+	Aligned   = stream.Aligned
+	Staggered = stream.Staggered
+
+	// NaturalOrder is the conventional cacheline controller; SMC the
+	// Stream Memory Controller.
+	NaturalOrder = sim.NaturalOrder
+	SMC          = sim.SMC
+
+	// RoundRobin is the paper's MSU policy; BankAware and HitFirst are the
+	// §6 extension policies (conflict avoidance and row-latency hiding).
+	RoundRobin = smc.RoundRobin
+	BankAware  = smc.BankAware
+	HitFirst   = smc.HitFirst
+
+	// Read and Write are stream directions.
+	Read  = stream.Read
+	Write = stream.Write
+)
+
+// Simulate runs one of the built-in benchmark kernels (see Kernels) under
+// the scenario and returns its outcome, functionally verified unless
+// Scenario.SkipVerify is set.
+func Simulate(sc Scenario) (Outcome, error) { return sim.Run(sc) }
+
+// SimulateKernel runs a caller-built kernel. Place its vectors with
+// LayoutVectors (or any non-overlapping page-aligned layout of your own).
+func SimulateKernel(k *Kernel, sc Scenario) (Outcome, error) { return sim.RunKernel(k, sc) }
+
+// Kernels lists the built-in benchmark kernel names.
+func Kernels() []string {
+	names := make([]string, len(stream.Benchmarks))
+	for i, f := range stream.Benchmarks {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// LayoutVectors assigns non-overlapping, bank-placed base addresses to
+// vectors with the given footprints (in 64-bit words) for the default
+// device geometry.
+func LayoutVectors(scheme Interleave, placement Placement, footprints []int64) ([]int64, error) {
+	return stream.Layout(scheme, rdram.DefaultGeometry(), 4, footprints, placement)
+}
+
+// DefaultBounds returns the paper's system parameters for the analytic
+// models: -50/-800 part timing, 32-byte lines, 1 KB pages.
+func DefaultBounds() Bounds { return analytic.DefaultParams() }
+
+// Loop, Ref, and Binding form the compiler-side interface of §3: describe
+// an affine inner loop, let Detect/Compile extract its stream descriptors.
+type (
+	Loop    = compiler.Loop
+	Ref     = compiler.Ref
+	Binding = compiler.Binding
+)
+
+// CompileLoop runs the §3 stream-detection pass over an affine inner loop
+// and binds its arrays to addresses, yielding a simulatable Kernel. Use
+// LoopFootprints + LayoutVectors to obtain non-overlapping bases first.
+func CompileLoop(l Loop, bind Binding) (*Kernel, error) { return compiler.Compile(l, bind) }
+
+// LoopFootprints reports the arrays a loop touches (in first-appearance
+// order) and the words of memory each needs.
+func LoopFootprints(l Loop) (names []string, words []int64, err error) {
+	return compiler.Footprints(l)
+}
+
+// DepthResult is one point of a FIFO-depth search.
+type DepthResult = smc.DepthResult
+
+// TuneFIFODepth runs the scenario's kernel at each candidate FIFO depth
+// and returns the smallest depth whose bandwidth lands within tolerance
+// percentage points of the best, plus every measurement. The paper's §6:
+// "the best FIFO depth must be chosen experimentally" — this is that
+// experiment.
+func TuneFIFODepth(sc Scenario, depths []int, tolerance float64) (int, []DepthResult, error) {
+	if sc.Device.Timing.TPack == 0 {
+		sc.Device = rdram.DefaultConfig()
+	}
+	if sc.LineWords == 0 {
+		sc.LineWords = 4
+	}
+	k, err := sim.BuildKernel(sc)
+	if err != nil {
+		return 0, nil, err
+	}
+	cfg := smc.Config{
+		Scheme: sc.Scheme, LineWords: sc.LineWords,
+		Policy: sc.Policy, SpeculateActivate: sc.SpeculateActivate,
+	}
+	return smc.TuneDepth(sc.Device, k, cfg, depths, tolerance)
+}
+
+// DefaultDevice returns the paper's device configuration: eight banks,
+// 1 KB pages, the Figure 2 timing, refresh disabled.
+func DefaultDevice() DeviceConfig { return rdram.DefaultConfig() }
