@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures examples cover fuzz clean
+.PHONY: all build test vet bench bench-telemetry profile figures examples cover fuzz clean
 
 all: vet test build
 
@@ -19,6 +19,15 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Telemetry-off vs telemetry-on timing comparison (see docs/OBSERVABILITY.md).
+bench-telemetry:
+	$(GO) run ./cmd/rdprof -bench -bench-out BENCH_telemetry.json
+
+# Full telemetry bundle (metrics.json, timeseries.csv, events.jsonl,
+# trace.json) for the canonical daxpy/SMC/PI scenario, under profile/.
+profile:
+	$(GO) run ./cmd/rdprof -kernel daxpy -n 1024 -mode smc -scheme pi -fifo 128 -out profile
+
 # Regenerate every artifact: ASCII tables on stdout, CSV series and SVG
 # figures under out/.
 figures:
@@ -33,7 +42,8 @@ examples:
 	$(GO) run ./examples/compileloop
 
 cover:
-	$(GO) test -cover ./...
+	$(GO) test -covermode=atomic -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Short fuzz passes over the address mapper and the device protocol.
 fuzz:

@@ -234,6 +234,57 @@ func BenchmarkSMCLongVector(b *testing.B) {
 	}
 }
 
+// --- telemetry overhead benchmarks ---
+
+// benchTelemetryScenario is the canonical daxpy/SMC/PI/fifo-128 scenario
+// the telemetry overhead numbers (BENCH_telemetry.json) are quoted for.
+func benchTelemetryScenario() rdramstream.Scenario {
+	return rdramstream.Scenario{
+		KernelName: "daxpy", N: 1024, Scheme: rdramstream.PI,
+		Mode: rdramstream.SMC, FIFODepth: 128,
+		Placement: rdramstream.Staggered, SkipVerify: true,
+	}
+}
+
+// BenchmarkTelemetryOffDaxpySMCPI runs with no collector attached — the
+// nil-guarded path every uninstrumented simulation takes. Compare against
+// the pre-telemetry baseline to measure the cost of the guards themselves.
+func BenchmarkTelemetryOffDaxpySMCPI(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rdramstream.Simulate(benchTelemetryScenario()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryOnDaxpySMCPI attaches a counters-only collector
+// (series, histograms, stall attribution; no event capture).
+func BenchmarkTelemetryOnDaxpySMCPI(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc := benchTelemetryScenario()
+		sc.Telemetry = rdramstream.NewTelemetry(rdramstream.TelemetryOptions{Window: 256})
+		if _, err := rdramstream.Simulate(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryCaptureDaxpySMCPI additionally captures the event
+// stream that feeds the JSONL and Chrome-trace exports — the most
+// expensive telemetry configuration.
+func BenchmarkTelemetryCaptureDaxpySMCPI(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc := benchTelemetryScenario()
+		sc.Telemetry = rdramstream.NewTelemetry(rdramstream.TelemetryOptions{Window: 256, CaptureEvents: true})
+		if _, err := rdramstream.Simulate(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPriorFPMSystem regenerates the §3 fast-page-mode system table.
 func BenchmarkPriorFPMSystem(b *testing.B) {
 	for i := 0; i < b.N; i++ {

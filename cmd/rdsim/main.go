@@ -7,12 +7,18 @@
 //	rdsim -kernel daxpy -n 1024 -mode smc -scheme pi -fifo 128
 //	rdsim -kernel vaxpy -n 1024 -stride 4 -mode natural -scheme cli
 //	rdsim -kernel copy -n 4096 -mode smc -policy bankaware -placement aligned
+//	rdsim -kernel daxpy -mode smc -scheme pi -fifo 128 -check \
+//	      -metrics-out metrics.json -chrome-trace trace.json
+//
+// The exit status is 0 only when the run verified functionally and (with
+// -check) the recorded device trace passed the protocol oracle.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -36,6 +42,10 @@ func main() {
 	cacheWays := flag.Int("cacheways", 1, "associativity of the -cache model")
 	seed := flag.Int64("seed", 1, "data pattern seed")
 	jsonOut := flag.Bool("json", false, "emit the outcome as JSON (for scripting)")
+	check := flag.Bool("check", false, "validate the recorded device trace against the Direct RDRAM protocol oracle; exit non-zero on violations")
+	metricsOut := flag.String("metrics-out", "", "write telemetry metrics (stall attribution, per-bank counters, windowed series) as JSON to this file")
+	chromeTrace := flag.String("chrome-trace", "", "write a Chrome trace-event JSON file (per-bank and per-FIFO tracks, viewable in Perfetto)")
+	window := flag.Int64("window", 256, "telemetry time-series window in cycles")
 	flag.Parse()
 
 	sc := rdramstream.Scenario{
@@ -92,9 +102,33 @@ func main() {
 		fatalf("unknown placement %q", *placement)
 	}
 
+	var col *rdramstream.Telemetry
+	if *metricsOut != "" || *chromeTrace != "" {
+		col = rdramstream.NewTelemetry(rdramstream.TelemetryOptions{
+			Window:        *window,
+			CaptureEvents: *chromeTrace != "",
+		})
+		sc.Telemetry = col
+	}
+	var rec rdramstream.TraceRecorder
+	if *check {
+		sc.Trace = rec.Hook()
+	}
+
 	out, err := rdramstream.Simulate(sc)
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, col.WriteMetricsJSON); err != nil {
+			fatalf("metrics: %v", err)
+		}
+	}
+	if *chromeTrace != "" {
+		if err := writeFile(*chromeTrace, col.WriteChromeTrace); err != nil {
+			fatalf("chrome trace: %v", err)
+		}
 	}
 
 	if *jsonOut {
@@ -111,23 +145,56 @@ func main() {
 		}{*kernel, *n, *stride, sc.Scheme.String(), sc.Mode.String(), *fifo, out}); err != nil {
 			fatalf("%v", err)
 		}
-		return
+	} else {
+		fmt.Printf("kernel      %s (n=%d stride=%d)\n", *kernel, *n, *stride)
+		fmt.Printf("system      %v / %v", sc.Scheme, sc.Mode)
+		if sc.Mode == rdramstream.SMC {
+			fmt.Printf(" (fifo=%d policy=%v speculate=%v)", sc.FIFODepth, sc.Policy, sc.SpeculateActivate)
+		}
+		fmt.Printf(" placement=%v\n", sc.Placement)
+		fmt.Printf("cycles      %d (%.2f us at 400 MHz)\n", out.Cycles, float64(out.Cycles)*2.5/1000)
+		fmt.Printf("bandwidth   %.2f%% of peak (%.0f MB/s of 1600)\n", out.PercentPeak, out.EffectiveMBps)
+		if out.PercentAttainable != out.PercentPeak {
+			fmt.Printf("attainable  %.2f%% of the stride's attainable bandwidth\n", out.PercentAttainable)
+		}
+		fmt.Printf("traffic     %d useful words, %d transferred\n", out.UsefulWords, out.TransferredWords)
+		fmt.Printf("device      %v\n", out.Device)
+		fmt.Printf("verified    %v\n", out.Verified)
 	}
 
-	fmt.Printf("kernel      %s (n=%d stride=%d)\n", *kernel, *n, *stride)
-	fmt.Printf("system      %v / %v", sc.Scheme, sc.Mode)
-	if sc.Mode == rdramstream.SMC {
-		fmt.Printf(" (fifo=%d policy=%v speculate=%v)", sc.FIFODepth, sc.Policy, sc.SpeculateActivate)
+	exit := 0
+	if *check {
+		viols := rdramstream.CheckTrace(sc.Device, rec.Events)
+		for _, v := range viols {
+			fmt.Fprintf(os.Stderr, "rdsim: protocol violation: %v\n", v)
+		}
+		if len(viols) > 0 {
+			exit = 1
+		} else if !*jsonOut {
+			fmt.Printf("protocol    clean (%d trace events checked)\n", len(rec.Events))
+		}
 	}
-	fmt.Printf(" placement=%v\n", sc.Placement)
-	fmt.Printf("cycles      %d (%.2f us at 400 MHz)\n", out.Cycles, float64(out.Cycles)*2.5/1000)
-	fmt.Printf("bandwidth   %.2f%% of peak (%.0f MB/s of 1600)\n", out.PercentPeak, out.EffectiveMBps)
-	if out.PercentAttainable != out.PercentPeak {
-		fmt.Printf("attainable  %.2f%% of the stride's attainable bandwidth\n", out.PercentAttainable)
+	// Scripted sweeps must not silently pass on a corrupted memory image.
+	if !out.Verified {
+		fmt.Fprintln(os.Stderr, "rdsim: functional verification did not pass")
+		if exit == 0 {
+			exit = 2
+		}
 	}
-	fmt.Printf("traffic     %d useful words, %d transferred\n", out.UsefulWords, out.TransferredWords)
-	fmt.Printf("device      %v\n", out.Device)
-	fmt.Printf("verified    %v\n", out.Verified)
+	os.Exit(exit)
+}
+
+// writeFile creates path and streams fn's output into it.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatalf(format string, args ...any) {

@@ -30,6 +30,7 @@ import (
 	"rdramstream/internal/cache"
 	"rdramstream/internal/rdram"
 	"rdramstream/internal/stream"
+	"rdramstream/internal/telemetry"
 )
 
 // Config selects the memory organization and the store policy.
@@ -58,6 +59,11 @@ type Config struct {
 	// Policy overrides the scheme's default precharge policy, to explore
 	// the two pairings the paper excludes (CLI+open, PI+closed).
 	Policy PagePolicy
+	// Telemetry, when non-nil, attaches the device probe and records the
+	// controller's cacheline miss-latency histogram. Idle DATA-bus cycles
+	// before each transaction are attributed to the in-order dependency
+	// wait (telemetry.StallDependency).
+	Telemetry *telemetry.Collector
 }
 
 // PagePolicy selects the precharge behaviour after each cacheline burst.
@@ -150,6 +156,13 @@ func Run(dev *rdram.Device, k *stream.Kernel, cfg Config) (Result, error) {
 	}
 
 	s := &sim{dev: dev, mapper: mapper, cfg: cfg}
+	if col := cfg.Telemetry; col != nil {
+		dev.Telemetry = col.Device
+		s.ctl = col.Controller
+		// The natural-order processor issues in order: the bus waits on the
+		// previous iteration's operands, not on an absent request stream.
+		col.Device.SetIdleCause(telemetry.StallDependency)
+	}
 
 	// Phase 1: functional execution over a shadow of device memory,
 	// recording every store value.
@@ -210,6 +223,8 @@ type sim struct {
 
 	cursor   int64   // first-command time of the most recent transaction
 	inflight []int64 // completion times of issued transactions
+
+	ctl *telemetry.ControllerProbe // nil when telemetry is off
 }
 
 func max64(a, b int64) int64 {
@@ -304,6 +319,7 @@ func (s *sim) admit(at int64) int64 {
 // fetchLine reads every packet of a cacheline and returns each packet's
 // DataStart (the linefill-forwarding availability times).
 func (s *sim) fetchLine(line, at int64, autoPre bool) []int64 {
+	reqAt := at
 	at = s.admit(at)
 	packets := s.cfg.LineWords / rdram.WordsPerPacket
 	base := line * int64(s.cfg.LineWords)
@@ -317,6 +333,10 @@ func (s *sim) fetchLine(line, at int64, autoPre bool) []int64 {
 		})
 		if p == 0 {
 			s.advanceCursor(res)
+			// Miss service latency as the processor sees it: request
+			// presented (before the outstanding-transaction gate) to first
+			// word forwarded.
+			s.ctl.ObserveMissLatency(res.DataStart - reqAt)
 		}
 		starts[p] = res.DataStart
 		complete = res.DataEnd

@@ -1,6 +1,10 @@
 package rdram
 
-import "fmt"
+import (
+	"fmt"
+
+	"rdramstream/internal/telemetry"
+)
 
 // Request asks the device to transfer one DATA packet (two 64-bit words).
 //
@@ -75,6 +79,12 @@ type Device struct {
 	// Trace, when non-nil, receives every packet the device schedules. It
 	// is used to render the Figure 5/6 style command/data timelines.
 	Trace func(ev TraceEvent)
+
+	// Telemetry, when non-nil, receives per-bank operation counts, bus
+	// occupancy spans, and the stall-cause attribution of idle DATA-bus
+	// cycles. Its hooks are called from the same sites that update Stats,
+	// so the two reconcile exactly. Nil costs one pointer check per hook.
+	Telemetry *telemetry.DeviceProbe
 }
 
 // NewDevice builds a device from cfg. It panics on an invalid
@@ -162,6 +172,9 @@ func (d *Device) prechargeAt(b int, at int64, occupyBus bool) int64 {
 	bk.preDone = tp + int64(t.TRP)
 	d.stats.Precharges++
 	d.emit(TracePrecharge, tp, t.TPack, b, bk.row, -1)
+	if d.Telemetry != nil {
+		d.Telemetry.OnPrecharge(b, tp, tp+int64(t.TPack))
+	}
 	return tp
 }
 
@@ -200,6 +213,9 @@ func (d *Device) activateAt(b, row int, at int64) int64 {
 	d.anyAct[dev] = true
 	d.stats.Activates++
 	d.emit(TraceActivate, ta, t.TPack, b, row, -1)
+	if d.Telemetry != nil {
+		d.Telemetry.OnActivate(b, ta, ta+int64(t.TPack))
+	}
 	return ta
 }
 
@@ -306,6 +322,10 @@ func (d *Device) Do(at int64, req Request) Result {
 	t := &d.cfg.Timing
 	bk := &d.banks[req.Bank]
 
+	// prevDataFree marks where the idle window before this access's DATA
+	// packet begins, for stall-cause attribution.
+	prevDataFree := d.dataBusFree
+
 	res := Result{PreIssue: -1, ActIssue: -1}
 	earliestCol := at
 	switch {
@@ -322,6 +342,7 @@ func (d *Device) Do(at int64, req Request) Result {
 		res.ActIssue = d.activateAt(req.Bank, req.Row, at)
 		d.stats.PageMisses++
 	}
+	d.Telemetry.OnAccess(req.Bank, res.PageHit, res.PreIssue >= 0)
 	earliestCol = max64(earliestCol, bk.rcdReady)
 
 	// A COL RET packet retires the write buffer between the last COL WR and
@@ -335,6 +356,9 @@ func (d *Device) Do(at int64, req Request) Result {
 		d.pendingRetire[reqDev] = false
 		d.stats.Retires++
 		d.emit(TraceRetire, d.colBusFree, t.TPack, req.Bank, -1, -1)
+		if d.Telemetry != nil {
+			d.Telemetry.OnRetire(req.Bank, d.colBusFree, d.colBusFree+int64(t.TPack))
+		}
 	}
 
 	tc := max64(earliestCol, d.colBusFree)
@@ -351,8 +375,10 @@ func (d *Device) Do(at int64, req Request) Result {
 	// and a read DATA packet must trail the previous write DATA packet by
 	// the bus turnaround time t_RW.
 	minDS := d.dataBusFree
+	trwBound := int64(-1)
 	if !req.Write && d.anyWrite {
-		minDS = max64(minDS, d.lastWriteDataEnd+int64(t.TRW))
+		trwBound = d.lastWriteDataEnd + int64(t.TRW)
+		minDS = max64(minDS, trwBound)
 	}
 	if ds < minDS {
 		tc += minDS - ds
@@ -366,6 +392,12 @@ func (d *Device) Do(at int64, req Request) Result {
 	res.ColIssue = tc
 	res.DataStart = ds
 	res.DataEnd = de
+
+	if d.Telemetry != nil {
+		d.attributeIdle(prevDataFree, at, trwBound, bk.rcdReady, ds, &res)
+		d.Telemetry.OnColumn(req.Bank, req.Write, tc, tc+int64(t.TPack))
+		d.Telemetry.OnData(req.Bank, req.Write, ds, de)
+	}
 
 	page := d.pageSlot(req.Bank, req.Row)
 	w := req.Col * WordsPerPacket
@@ -392,6 +424,53 @@ func (d *Device) Do(at int64, req Request) Result {
 		d.prechargeAt(req.Bank, tc, false)
 	}
 	return res
+}
+
+// attributeIdle charges every idle DATA-bus cycle in [prevFree, ds) —
+// the gap between the previous DATA packet and this one — to exactly one
+// stall cause. It walks a chain of monotone thresholds in causal order:
+//
+//	prevFree ──(controller idle)── at ──(precharge t_RP)── PreIssue+t_RP
+//	──(t_RC/t_RR/ROW-bus wait)── ActIssue ──(t_RCD)── rcdReady
+//	──(read/write turnaround t_RW)── trwBound ──(COL bus + CAS pipe)── ds
+//
+// Each segment is clamped to [prevFree, ds), so the per-cause charges tile
+// the gap exactly; summed over a run (plus any controller-charged tail)
+// they equal Cycles − DataBusBusy, the invariant the telemetry tests
+// assert. Cycles before the request arrived are charged to the cause the
+// controller declared via SetIdleCause (no-request, dependency wait, or
+// FIFO starvation).
+func (d *Device) attributeIdle(prevFree, at, trwBound, rcdReady, ds int64, res *Result) {
+	if ds <= prevFree {
+		return
+	}
+	t := &d.cfg.Timing
+	p := d.Telemetry
+	pos := prevFree
+	charge := func(c telemetry.StallCause, until int64) {
+		if until > ds {
+			until = ds
+		}
+		if until > pos {
+			p.ChargeStall(c, until-pos)
+			pos = until
+		}
+	}
+	charge(p.IdleCause(), at)
+	if res.PreIssue >= 0 {
+		charge(telemetry.StallPrecharge, res.PreIssue+int64(t.TRP))
+	}
+	if res.ActIssue >= 0 {
+		charge(telemetry.StallRowTiming, res.ActIssue)
+		charge(telemetry.StallActivate, res.ActIssue+int64(t.TRCD))
+	} else {
+		// Page hit on a freshly opened row can still wait out t_RCD.
+		charge(telemetry.StallActivate, rcdReady)
+	}
+	if trwBound >= 0 {
+		charge(telemetry.StallTurnaround, trwBound)
+	}
+	charge(telemetry.StallColumn, ds)
 }
 
 // pageSlot returns the storage backing (bank,row), allocating it on first

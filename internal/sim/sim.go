@@ -16,6 +16,7 @@ import (
 	"rdramstream/internal/rdram"
 	"rdramstream/internal/smc"
 	"rdramstream/internal/stream"
+	"rdramstream/internal/telemetry"
 )
 
 // Mode selects the memory controller under test.
@@ -73,6 +74,18 @@ type Scenario struct {
 	Seed int64
 	// SkipVerify disables the post-run functional check (for benchmarks).
 	SkipVerify bool
+
+	// Telemetry, when non-nil, instruments the run: per-bank device
+	// counters, per-window bus occupancy and bandwidth, stall-cause
+	// attribution of every idle DATA-bus cycle, FIFO depth/starvation
+	// (SMC), and the miss-latency histogram (natural order). The caller
+	// keeps the collector and reads it back after the run; Finalize is
+	// called with the run's total cycles.
+	Telemetry *telemetry.Collector
+	// Trace, when non-nil, receives every packet the device schedules —
+	// the hook behind trace recording, protocol checking (rdsim -check),
+	// and the Figure 5/6 timelines.
+	Trace func(rdram.TraceEvent)
 }
 
 // withDefaults fills zero fields.
@@ -150,6 +163,9 @@ func Run(sc Scenario) (Outcome, error) {
 func RunKernel(k *stream.Kernel, sc Scenario) (Outcome, error) {
 	sc = sc.withDefaults()
 	dev := rdram.NewDevice(sc.Device)
+	if sc.Trace != nil {
+		dev.Trace = sc.Trace
+	}
 	mapper, err := addrmap.New(sc.Scheme, sc.Device.Geometry, sc.LineWords)
 	if err != nil {
 		return Outcome{}, err
@@ -162,6 +178,7 @@ func RunKernel(k *stream.Kernel, sc Scenario) (Outcome, error) {
 		res, err := natorder.Run(dev, k, natorder.Config{
 			Scheme: sc.Scheme, LineWords: sc.LineWords,
 			WriteAllocate: sc.WriteAllocate, Cache: sc.Cache,
+			Telemetry: sc.Telemetry,
 		})
 		if err != nil {
 			return Outcome{}, err
@@ -182,6 +199,7 @@ func RunKernel(k *stream.Kernel, sc Scenario) (Outcome, error) {
 		res, err := smc.Run(dev, k, smc.Config{
 			Scheme: sc.Scheme, LineWords: sc.LineWords, FIFODepth: sc.FIFODepth,
 			Policy: sc.Policy, SpeculateActivate: sc.SpeculateActivate,
+			Telemetry: sc.Telemetry,
 		})
 		if err != nil {
 			return Outcome{}, err
@@ -200,6 +218,7 @@ func RunKernel(k *stream.Kernel, sc Scenario) (Outcome, error) {
 	if out.Cycles > 0 {
 		out.EffectiveMBps = float64(out.UsefulWords*8) / (float64(out.Cycles) * 2.5) * 1000
 	}
+	sc.Telemetry.Finalize(out.Cycles)
 
 	if !sc.SkipVerify {
 		if err := verify(dev, mapper, k, shadow); err != nil {

@@ -8,6 +8,7 @@ import (
 	"rdramstream/internal/cpu"
 	"rdramstream/internal/rdram"
 	"rdramstream/internal/stream"
+	"rdramstream/internal/telemetry"
 )
 
 // Policy selects the MSU's FIFO-scheduling algorithm.
@@ -61,6 +62,11 @@ type Config struct {
 	// precharges/activates the next page's bank so the stream never stalls
 	// on a page crossing. Only meaningful for PI (open-page) systems.
 	SpeculateActivate bool
+	// Telemetry, when non-nil, receives cycle-level instrumentation: the
+	// device probe is attached to the device, one FIFO probe per stream
+	// records depth and starvation, and MSU decisions and CPU stalls land
+	// in the controller probe. Nil runs pay only nil checks.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultConfig returns the paper's base SMC configuration: CLI, 32-byte
@@ -119,6 +125,20 @@ func Run(dev *rdram.Device, k *stream.Kernel, cfg Config) (Result, error) {
 		nr:     k.ReadStreams(),
 		xfer:   int64(dev.Config().Timing.TPack / rdram.WordsPerPacket),
 	}
+	if col := cfg.Telemetry; col != nil {
+		dev.Telemetry = col.Device
+		s.col = col
+		s.ctl = col.Controller
+		s.dprobe = col.Device
+		s.fprobes = make([]*telemetry.FIFOProbe, len(k.Streams))
+		for i, st := range k.Streams {
+			dir := "read"
+			if st.Mode == stream.Write {
+				dir = "write"
+			}
+			s.fprobes[i] = col.FIFO(i, fmt.Sprintf("fifo %d %s %s", i, dir, st.Name))
+		}
+	}
 	for i, st := range k.Streams {
 		groups := planStream(mapper, st)
 		if i < s.nr {
@@ -150,6 +170,13 @@ func Run(dev *rdram.Device, k *stream.Kernel, cfg Config) (Result, error) {
 			}
 		}
 	}
+	if col := cfg.Telemetry; col != nil {
+		col.Controller.CPUStallCycles = s.cpuStall
+		// The run extends past the final DATA packet while the CPU drains
+		// the last FIFO contents; charge that tail so the stall attribution
+		// tiles the full [0, Cycles) idle time.
+		col.Device.ChargeStall(telemetry.StallCPUTail, res.Cycles-st.LastDataEnd)
+	}
 	return res, nil
 }
 
@@ -172,6 +199,12 @@ type sim struct {
 
 	msuTime int64
 	current int // round-robin cursor over all FIFOs (reads then writes)
+
+	// Telemetry probes; all nil when cfg.Telemetry is nil.
+	col     *telemetry.Collector
+	ctl     *telemetry.ControllerProbe
+	dprobe  *telemetry.DeviceProbe
+	fprobes []*telemetry.FIFOProbe
 }
 
 func max64(a, b int64) int64 {
@@ -200,8 +233,34 @@ func (s *sim) run() error {
 			}
 			return fmt.Errorf("smc: stalled at cycle %d with work remaining (MSU idle, CPU blocked)", s.msuTime)
 		}
+		if s.col != nil {
+			s.noteBlocked(s.msuTime, t)
+		}
 		s.msuTime = t
 	}
+}
+
+// noteBlocked records an MSU idle episode [from, until): which FIFOs were
+// starving it (full read FIFOs blocking prefetch, incomplete write packets
+// blocking drain), and declares the dominant cause to the device so the
+// idle DATA-bus cycles preceding the next access are attributed to it.
+func (s *sim) noteBlocked(from, until int64) {
+	cause := telemetry.StallNoRequest
+	for i, f := range s.reads {
+		if f.nextFetch < len(f.groups) && !f.canFetch() {
+			s.fprobes[i].OnBlocked(from, until, true)
+			cause = telemetry.StallFIFOFull
+		}
+	}
+	for j, f := range s.writes {
+		if f.nextDrain < len(f.groups) && !f.canDrain() {
+			s.fprobes[s.nr+j].OnBlocked(from, until, false)
+			if cause == telemetry.StallNoRequest {
+				cause = telemetry.StallFIFOEmpty
+			}
+		}
+	}
+	s.dprobe.SetIdleCause(cause)
 }
 
 // msuHasWork reports whether any stream still has packets to move.
@@ -260,6 +319,7 @@ func (s *sim) issueOne() bool {
 		if best < 0 {
 			return false
 		}
+		s.ctl.OnDecision("bankaware")
 		s.current = best
 		s.issue(best)
 		return true
@@ -279,6 +339,7 @@ func (s *sim) issueOne() bool {
 			}
 			g := s.nextGroup(i)
 			if row, open := s.dev.BankOpenRow(g.loc.Bank); open && row == g.loc.Row {
+				s.ctl.OnDecision("hitfirst-hit")
 				s.current = i
 				s.issue(i)
 				return true
@@ -287,6 +348,7 @@ func (s *sim) issueOne() bool {
 		if fallback < 0 {
 			return false
 		}
+		s.ctl.OnDecision("hitfirst-fallback")
 		s.current = fallback
 		s.issue(fallback)
 		return true
@@ -296,6 +358,7 @@ func (s *sim) issueOne() bool {
 			if ok, _ := s.canService(i); ok {
 				// Stay on this FIFO: subsequent calls keep servicing it
 				// until it cannot proceed, then the scan moves past it.
+				s.ctl.OnDecision("roundrobin")
 				s.current = i
 				s.issue(i)
 				return true
@@ -355,6 +418,13 @@ func (s *sim) issue(i int) {
 		}
 	}
 
+	// A write drain that waited on the CPU's pushes is a FIFO-empty wait;
+	// declare it so the idle bus cycles before the drain are attributed to
+	// starvation rather than to an absent request.
+	if s.dprobe != nil && req.Write && at > s.msuTime {
+		s.dprobe.SetIdleCause(telemetry.StallFIFOEmpty)
+	}
+
 	// The MSU pipelines command issue: its next scheduling decision is
 	// made one command-lead-time (t_RAC) ahead of this access's data, so
 	// row/column packets for the following access overlap this one's data
@@ -379,6 +449,18 @@ func (s *sim) issue(i int) {
 			f.drainAt = append(f.drainAt, res.DataEnd)
 		}
 		f.nextDrain++
+	}
+	if s.fprobes != nil {
+		fp := s.fprobes[i]
+		fp.OnService(res.DataStart, res.DataEnd, req.Write)
+		if i < s.nr {
+			f := s.reads[i]
+			fp.OnDepth(res.DataEnd, f.issued-f.popped)
+		} else {
+			f := s.writes[i-s.nr]
+			fp.OnDepth(res.DataEnd, len(f.pushedAt)-len(f.drainAt))
+		}
+		s.dprobe.SetIdleCause(telemetry.StallNoRequest)
 	}
 
 	// §6 extension: when a stream finishes its accesses to a DRAM page,
@@ -428,10 +510,16 @@ func (s *sim) cpuAdvance(limit int64) {
 			f := s.writes[a.Stream-s.nr]
 			f.pushedAt = append(f.pushedAt, done)
 			f.values = append(f.values, a.Value)
+			if s.fprobes != nil {
+				s.fprobes[a.Stream].OnDepth(done, len(f.pushedAt)-len(f.drainAt))
+			}
 		} else {
 			f := s.reads[a.Stream]
 			s.walker.SupplyRead(f.values[f.popped])
 			f.popped++
+			if s.fprobes != nil {
+				s.fprobes[a.Stream].OnDepth(done, f.issued-f.popped)
+			}
 		}
 		s.pending = nil
 	}

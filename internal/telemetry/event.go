@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// Event is one instrumented occurrence on a named track: either a span
+// ([Start, End) in cycles, e.g. an ACT packet on a bank or a packet fetch
+// for a FIFO) or a counter sample (Counter true, Value at cycle Start,
+// e.g. a FIFO's depth). Tracks map to threads in the Chrome trace export.
+type Event struct {
+	Track   string  `json:"track"`
+	Name    string  `json:"name"`
+	Start   int64   `json:"start"`
+	End     int64   `json:"end,omitempty"`
+	Value   float64 `json:"value,omitempty"`
+	Counter bool    `json:"counter,omitempty"`
+}
+
+// DefaultEventLimit bounds the capture buffer: a long sweep cannot
+// silently exhaust memory; Truncated reports when the cap was hit.
+const DefaultEventLimit = 1 << 21
+
+// EventBuffer collects events in occurrence order. It is only allocated
+// when event capture is requested, so counter-only telemetry never pays
+// for event storage.
+type EventBuffer struct {
+	Events    []Event
+	Limit     int
+	Truncated bool
+}
+
+// Append records an event, honouring the buffer limit.
+func (b *EventBuffer) Append(ev Event) {
+	if b == nil {
+		return
+	}
+	if b.Limit > 0 && len(b.Events) >= b.Limit {
+		b.Truncated = true
+		return
+	}
+	b.Events = append(b.Events, ev)
+}
+
+// WriteJSONL streams the events as one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

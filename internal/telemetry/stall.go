@@ -1,0 +1,86 @@
+package telemetry
+
+// StallCause classifies why the DATA bus was idle for a cycle. The
+// attribution is exact: the device charges every idle DATA-bus cycle
+// between consecutive DATA packets to exactly one cause, and the
+// controllers charge the tail after the final packet, so the per-cause
+// totals sum to Cycles − DataBusBusy (checked by the simulators' tests).
+//
+// The taxonomy follows the paper's §5 loss accounting: row activation and
+// precharge latency (Eq 5.2–5.4's t_RAC and t_RP terms), the bus-turnaround
+// penalty t_RW between writes and reads (Eq 5.3), the tRC/tRR bank-cycle
+// limits that gate back-to-back activates, and the controller-side reasons
+// the memory was not even asked for data (in-order dependency waits for the
+// natural-order controller, FIFO starvation for the SMC).
+type StallCause int
+
+const (
+	// StallNoRequest: the controller presented no request — the bus idled
+	// with no pending work. Controllers refine this into StallDependency,
+	// StallFIFOFull, or StallFIFOEmpty when they know the reason.
+	StallNoRequest StallCause = iota
+	// StallDependency: the natural-order processor could not issue the next
+	// transaction yet because it issues in order and the previous
+	// iteration's operands had not arrived (the paper's once-per-line
+	// exposed latency in Figures 5/6).
+	StallDependency
+	// StallFIFOFull: the MSU had pending read groups but every serviceable
+	// read FIFO was full — prefetch blocked until the CPU pops elements.
+	StallFIFOFull
+	// StallFIFOEmpty: the MSU had pending write groups but no write FIFO
+	// held a complete packet — drain blocked until the CPU pushes elements.
+	StallFIFOEmpty
+	// StallPrecharge: waiting for a page-conflict precharge (t_RP after the
+	// PRER packet) before the needed row could be activated.
+	StallPrecharge
+	// StallRowTiming: the ACT packet itself was delayed — by t_RC (same
+	// bank), t_RR (same chip), a pending precharge from an earlier access,
+	// or ROW-bus contention (refresh traffic folds in here too).
+	StallRowTiming
+	// StallActivate: waiting out t_RCD between the ACT packet and the first
+	// column access to the newly opened row.
+	StallActivate
+	// StallTurnaround: a read DATA packet held off by the t_RW bus
+	// turnaround after a write DATA packet (the paper's read/write
+	// interleave penalty).
+	StallTurnaround
+	// StallColumn: remaining latency on the column path — COL-bus
+	// contention and the CAS pipeline fill (t_CAC / t_CWD exposure).
+	StallColumn
+	// StallCPUTail: cycles after the final DATA packet while the processor
+	// was still consuming FIFO contents (SMC runs end at
+	// max(cpuTime, LastDataEnd)).
+	StallCPUTail
+
+	// NumStallCauses sizes per-cause arrays.
+	NumStallCauses
+)
+
+var stallNames = [NumStallCauses]string{
+	"no-request",
+	"dependency",
+	"fifo-full",
+	"fifo-empty",
+	"precharge",
+	"row-timing",
+	"activate",
+	"turnaround",
+	"column",
+	"cpu-tail",
+}
+
+func (c StallCause) String() string {
+	if c < 0 || c >= NumStallCauses {
+		return "unknown"
+	}
+	return stallNames[c]
+}
+
+// StallCauses lists every cause in charge order, for exporters and docs.
+func StallCauses() []StallCause {
+	out := make([]StallCause, NumStallCauses)
+	for i := range out {
+		out[i] = StallCause(i)
+	}
+	return out
+}

@@ -1,0 +1,417 @@
+// Package telemetry is the simulator's cycle-level observability layer:
+// allocation-conscious counters, fixed-window time series, fixed-bucket
+// histograms, an event capture buffer, and exporters (JSONL, CSV, Chrome
+// trace-event JSON). The probes are nil-safe — every method no-ops on a
+// nil receiver — so the simulation layers instrument unconditionally and
+// a run without a Collector pays only a nil check per probe call.
+//
+// Structure: a Collector owns one DeviceProbe (per-bank operation
+// counters, per-window ROW/COL/DATA bus occupancy, and the stall-cause
+// attribution of idle DATA-bus cycles), one ControllerProbe (scheduling
+// decisions, miss-latency histogram, CPU stalls), and one FIFOProbe per
+// SMC stream buffer (depth gauge, full/empty stall accounting).
+package telemetry
+
+// Options configures a Collector.
+type Options struct {
+	// Window is the time-series bucket width in cycles (default 256).
+	Window int64
+	// CaptureEvents enables the event buffer feeding the JSONL and Chrome
+	// trace exports. Off, only counters/series/histograms are kept.
+	CaptureEvents bool
+	// EventLimit caps the capture buffer (default DefaultEventLimit).
+	EventLimit int
+}
+
+// Collector is the root of one simulation run's telemetry. Create it with
+// New, hand it to the simulation via the Scenario/Config Telemetry fields,
+// and read it back after the run. A Collector (and the simulators driving
+// it) is single-goroutine, like the device itself.
+type Collector struct {
+	// Window is the series bucket width in cycles.
+	Window int64
+	// Device records device-level activity and stall attribution.
+	Device *DeviceProbe
+	// Controller records controller-level activity.
+	Controller *ControllerProbe
+	// FIFOs holds one probe per SMC stream FIFO, in stream order
+	// (reads then writes), populated by the SMC when it runs.
+	FIFOs []*FIFOProbe
+	// Events is the shared capture buffer, nil unless CaptureEvents.
+	Events *EventBuffer
+	// Cycles is the run length recorded by Finalize.
+	Cycles int64
+}
+
+// New builds a Collector.
+func New(o Options) *Collector {
+	if o.Window <= 0 {
+		o.Window = 256
+	}
+	c := &Collector{Window: o.Window}
+	if o.CaptureEvents {
+		limit := o.EventLimit
+		if limit <= 0 {
+			limit = DefaultEventLimit
+		}
+		c.Events = &EventBuffer{Limit: limit}
+	}
+	c.Device = &DeviceProbe{
+		window:    o.Window,
+		rowBus:    NewSeries(o.Window),
+		colBus:    NewSeries(o.Window),
+		dataBus:   NewSeries(o.Window),
+		idleCause: StallNoRequest,
+		events:    c.Events,
+	}
+	c.Controller = &ControllerProbe{
+		MissLatency: NewHistogram(DefaultLatencyBounds()...),
+		Decisions:   map[string]int64{},
+	}
+	return c
+}
+
+// FIFO returns (creating on first use) the probe for FIFO index i with the
+// given display name.
+func (c *Collector) FIFO(i int, name string) *FIFOProbe {
+	if c == nil {
+		return nil
+	}
+	for len(c.FIFOs) <= i {
+		c.FIFOs = append(c.FIFOs, nil)
+	}
+	if c.FIFOs[i] == nil {
+		c.FIFOs[i] = &FIFOProbe{
+			Name:   name,
+			Depth:  NewMaxSeries(c.Window),
+			events: c.Events,
+		}
+	}
+	return c.FIFOs[i]
+}
+
+// Finalize records the run's total cycle count; exporters and the stall
+// invariant need it.
+func (c *Collector) Finalize(cycles int64) {
+	if c == nil {
+		return
+	}
+	c.Cycles = cycles
+}
+
+// BankCounters are the per-bank operation counts, mirroring rdram.Stats.
+type BankCounters struct {
+	Activates     int64 `json:"activates"`
+	Precharges    int64 `json:"precharges"`
+	Reads         int64 `json:"reads"`
+	Writes        int64 `json:"writes"`
+	PageHits      int64 `json:"pageHits"`
+	PageMisses    int64 `json:"pageMisses"`
+	PageConflicts int64 `json:"pageConflicts"`
+	Retires       int64 `json:"retires"`
+}
+
+func (b *BankCounters) add(o BankCounters) {
+	b.Activates += o.Activates
+	b.Precharges += o.Precharges
+	b.Reads += o.Reads
+	b.Writes += o.Writes
+	b.PageHits += o.PageHits
+	b.PageMisses += o.PageMisses
+	b.PageConflicts += o.PageConflicts
+	b.Retires += o.Retires
+}
+
+// DeviceProbe records device-level telemetry. The rdram.Device calls its
+// On* hooks from the same sites that update rdram.Stats, so the totals
+// reconcile exactly with the device's own counters (tested in sim).
+type DeviceProbe struct {
+	window int64
+	banks  []BankCounters
+
+	rowBus, colBus, dataBus *Series
+
+	dataBusBusy int64
+	stalls      [NumStallCauses]int64
+	idleCause   StallCause
+
+	events *EventBuffer
+}
+
+func (p *DeviceProbe) bank(b int) *BankCounters {
+	for len(p.banks) <= b {
+		p.banks = append(p.banks, BankCounters{})
+	}
+	return &p.banks[b]
+}
+
+// trackName returns the capture track for a bank. Banks are few; a tiny
+// static table avoids per-event formatting allocations on the common path.
+var bankTracks = [...]string{
+	"bank 0", "bank 1", "bank 2", "bank 3", "bank 4", "bank 5", "bank 6", "bank 7",
+	"bank 8", "bank 9", "bank 10", "bank 11", "bank 12", "bank 13", "bank 14", "bank 15",
+}
+
+func bankTrack(b int) string {
+	if b >= 0 && b < len(bankTracks) {
+		return bankTracks[b]
+	}
+	return "bank 16+"
+}
+
+// OnActivate records a ROW ACT packet on bank b occupying [start, end).
+func (p *DeviceProbe) OnActivate(b int, start, end int64) {
+	if p == nil {
+		return
+	}
+	p.bank(b).Activates++
+	p.rowBus.AddSpan(start, end, 1)
+	p.events.Append(Event{Track: bankTrack(b), Name: "ACT", Start: start, End: end})
+}
+
+// OnPrecharge records a ROW PRER packet on bank b.
+func (p *DeviceProbe) OnPrecharge(b int, start, end int64) {
+	if p == nil {
+		return
+	}
+	p.bank(b).Precharges++
+	p.rowBus.AddSpan(start, end, 1)
+	p.events.Append(Event{Track: bankTrack(b), Name: "PRER", Start: start, End: end})
+}
+
+// OnColumn records a COL RD/WR packet on bank b.
+func (p *DeviceProbe) OnColumn(b int, write bool, start, end int64) {
+	if p == nil {
+		return
+	}
+	p.colBus.AddSpan(start, end, 1)
+	name := "COL RD"
+	if write {
+		name = "COL WR"
+	}
+	p.events.Append(Event{Track: bankTrack(b), Name: name, Start: start, End: end})
+}
+
+// OnRetire records a COL RET packet preceding a read on bank b's device.
+func (p *DeviceProbe) OnRetire(b int, start, end int64) {
+	if p == nil {
+		return
+	}
+	p.bank(b).Retires++
+	p.colBus.AddSpan(start, end, 1)
+	p.events.Append(Event{Track: bankTrack(b), Name: "RET", Start: start, End: end})
+}
+
+// OnData records a DATA packet transfer for bank b.
+func (p *DeviceProbe) OnData(b int, write bool, start, end int64) {
+	if p == nil {
+		return
+	}
+	bk := p.bank(b)
+	if write {
+		bk.Writes++
+	} else {
+		bk.Reads++
+	}
+	p.dataBusBusy += end - start
+	p.dataBus.AddSpan(start, end, 1)
+	name := "DATA rd"
+	if write {
+		name = "DATA wr"
+	}
+	p.events.Append(Event{Track: bankTrack(b), Name: name, Start: start, End: end})
+}
+
+// OnAccess classifies one column access's page outcome for bank b.
+func (p *DeviceProbe) OnAccess(b int, hit, conflict bool) {
+	if p == nil {
+		return
+	}
+	bk := p.bank(b)
+	switch {
+	case hit:
+		bk.PageHits++
+	case conflict:
+		bk.PageConflicts++
+		bk.PageMisses++
+	default:
+		bk.PageMisses++
+	}
+}
+
+// SetIdleCause declares why the DATA bus is currently idle from the
+// controller's point of view; subsequent pre-arrival idle cycles are
+// charged to this cause until it is changed. The zero state is
+// StallNoRequest.
+func (p *DeviceProbe) SetIdleCause(c StallCause) {
+	if p == nil {
+		return
+	}
+	p.idleCause = c
+}
+
+// IdleCause returns the currently declared controller-side idle cause.
+func (p *DeviceProbe) IdleCause() StallCause {
+	if p == nil {
+		return StallNoRequest
+	}
+	return p.idleCause
+}
+
+// ChargeStall attributes n idle DATA-bus cycles to a cause.
+func (p *DeviceProbe) ChargeStall(c StallCause, n int64) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.stalls[c] += n
+}
+
+// Stalls returns the per-cause idle cycle totals.
+func (p *DeviceProbe) Stalls() [NumStallCauses]int64 {
+	if p == nil {
+		return [NumStallCauses]int64{}
+	}
+	return p.stalls
+}
+
+// IdleTotal sums idle cycles across causes.
+func (p *DeviceProbe) IdleTotal() int64 {
+	if p == nil {
+		return 0
+	}
+	var t int64
+	for _, v := range p.stalls {
+		t += v
+	}
+	return t
+}
+
+// DataBusBusy returns the cycles the DATA bus carried packets.
+func (p *DeviceProbe) DataBusBusy() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.dataBusBusy
+}
+
+// Totals sums the per-bank counters.
+func (p *DeviceProbe) Totals() BankCounters {
+	var t BankCounters
+	if p == nil {
+		return t
+	}
+	for _, b := range p.banks {
+		t.add(b)
+	}
+	return t
+}
+
+// PerBank returns the per-bank counters (indexed by bank id).
+func (p *DeviceProbe) PerBank() []BankCounters {
+	if p == nil {
+		return nil
+	}
+	return p.banks
+}
+
+// BusSeries returns the ROW, COL, and DATA bus occupancy series
+// (busy cycles per window).
+func (p *DeviceProbe) BusSeries() (row, col, data *Series) {
+	if p == nil {
+		return nil, nil, nil
+	}
+	return p.rowBus, p.colBus, p.dataBus
+}
+
+// FIFOProbe records one SMC stream FIFO's behaviour.
+type FIFOProbe struct {
+	// Name identifies the FIFO, e.g. "read x" or "write y".
+	Name string
+	// Depth tracks occupancy (elements) as a per-window maximum.
+	Depth *Series
+	// Serviced counts packets the MSU moved for this FIFO.
+	Serviced int64
+	// FullStalls / FullStallCycles count episodes (and their length) where
+	// the MSU wanted to prefetch but the FIFO had no room.
+	FullStalls      int64
+	FullStallCycles int64
+	// EmptyStalls / EmptyStallCycles count episodes where the MSU wanted
+	// to drain but the CPU had not pushed a complete packet yet.
+	EmptyStalls      int64
+	EmptyStallCycles int64
+
+	events *EventBuffer
+}
+
+// OnDepth records the FIFO's occupancy after a push/pop/drain at cycle at.
+func (p *FIFOProbe) OnDepth(at int64, depth int) {
+	if p == nil {
+		return
+	}
+	p.Depth.Observe(at, float64(depth))
+	p.events.Append(Event{Track: p.Name, Name: "depth", Start: at, Value: float64(depth), Counter: true})
+}
+
+// OnService records one packet transfer for this FIFO occupying
+// [start, end) on the DATA bus.
+func (p *FIFOProbe) OnService(start, end int64, write bool) {
+	if p == nil {
+		return
+	}
+	p.Serviced++
+	name := "fetch"
+	if write {
+		name = "drain"
+	}
+	p.events.Append(Event{Track: p.Name, Name: name, Start: start, End: end})
+}
+
+// OnBlocked records a stall episode of [at, until) with the FIFO full
+// (prefetch blocked) or empty (drain blocked).
+func (p *FIFOProbe) OnBlocked(at, until int64, full bool) {
+	if p == nil || until <= at {
+		return
+	}
+	if full {
+		p.FullStalls++
+		p.FullStallCycles += until - at
+	} else {
+		p.EmptyStalls++
+		p.EmptyStallCycles += until - at
+	}
+	name := "stall empty"
+	if full {
+		name = "stall full"
+	}
+	p.events.Append(Event{Track: p.Name, Name: name, Start: at, End: until})
+}
+
+// ControllerProbe records controller-level telemetry common to both the
+// natural-order controller and the SMC.
+type ControllerProbe struct {
+	// Decisions counts MSU scheduling outcomes by label (e.g. "roundrobin",
+	// "hitfirst-hit", "hitfirst-fallback", "bankaware").
+	Decisions map[string]int64
+	// MissLatency is the request-to-data latency of cacheline fetches
+	// (natural-order controller), in cycles.
+	MissLatency *Histogram
+	// CPUStallCycles is the time the processor spent blocked on FIFO heads
+	// (SMC mode).
+	CPUStallCycles int64
+}
+
+// OnDecision counts one scheduling decision.
+func (p *ControllerProbe) OnDecision(label string) {
+	if p == nil {
+		return
+	}
+	p.Decisions[label]++
+}
+
+// ObserveMissLatency records one cacheline fetch latency.
+func (p *ControllerProbe) ObserveMissLatency(cycles int64) {
+	if p == nil {
+		return
+	}
+	p.MissLatency.Observe(cycles)
+}

@@ -1,0 +1,455 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSeriesWindowing(t *testing.T) {
+	s := NewSeries(10)
+	s.Add(0, 1)
+	s.Add(9, 2)
+	s.Add(10, 4)
+	s.Add(35, 8)
+	want := []float64{3, 4, 0, 8}
+	got := s.Values()
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+	s.Add(-1, 100) // negative cycles are dropped, not a panic
+	if got := s.Values(); got[0] != 3 {
+		t.Errorf("negative Add mutated bucket 0: %g", got[0])
+	}
+}
+
+func TestSeriesMaxVsSum(t *testing.T) {
+	sum := NewSeries(10)
+	max := NewMaxSeries(10)
+	for _, v := range []float64{3, 7, 5} {
+		sum.Observe(4, v)
+		max.Observe(4, v)
+	}
+	if got := sum.Values()[0]; got != 15 {
+		t.Errorf("summing series = %g, want 15", got)
+	}
+	if got := max.Values()[0]; got != 7 {
+		t.Errorf("max series = %g, want 7", got)
+	}
+}
+
+func TestSeriesAddSpan(t *testing.T) {
+	s := NewSeries(10)
+	// Span [5, 25) splits 5 + 10 + 5 across three buckets.
+	s.AddSpan(5, 25, 1)
+	want := []float64{5, 10, 5}
+	for i, w := range want {
+		if got := s.Values()[i]; got != w {
+			t.Errorf("bucket %d = %g, want %g", i, got, w)
+		}
+	}
+	// The total credited must equal the span length regardless of cuts.
+	s = NewSeries(7)
+	s.AddSpan(3, 60, 1)
+	var total float64
+	for _, v := range s.Values() {
+		total += v
+	}
+	if total != 57 {
+		t.Errorf("span total = %g, want 57", total)
+	}
+	// Degenerate and clamped spans.
+	s.AddSpan(10, 10, 1)
+	s.AddSpan(12, 11, 1)
+	if total2 := sumVals(s.Values()); total2 != 57 {
+		t.Errorf("degenerate spans changed total: %g", total2)
+	}
+	s2 := NewSeries(10)
+	s2.AddSpan(-5, 5, 1) // clamps to [0, 5)
+	if got := s2.Values()[0]; got != 5 {
+		t.Errorf("clamped span = %g, want 5", got)
+	}
+}
+
+func sumVals(vs []float64) float64 {
+	var t float64
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+func TestSeriesNilSafe(t *testing.T) {
+	var s *Series
+	s.Add(0, 1)
+	s.Observe(0, 1)
+	s.AddSpan(0, 10, 1)
+	if s.Len() != 0 || s.Values() != nil {
+		t.Error("nil series not empty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 20, 40)
+	for _, v := range []int64{5, 10, 11, 40, 41, 1000} {
+		h.Observe(v)
+	}
+	bks := h.Buckets()
+	wantCounts := []int64{2, 1, 1, 2} // ≤10, ≤20, ≤40, overflow
+	for i, w := range wantCounts {
+		if bks[i].Count != w {
+			t.Errorf("bucket %d count = %d, want %d", i, bks[i].Count, w)
+		}
+	}
+	if !bks[3].Overflow {
+		t.Error("last bucket not marked overflow")
+	}
+	if h.N() != 6 || h.Min() != 5 || h.Max() != 1000 {
+		t.Errorf("n=%d min=%d max=%d", h.N(), h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), float64(5+10+11+40+41+1000)/6; got != want {
+		t.Errorf("mean = %g, want %g", got, want)
+	}
+	if s := h.String(); !strings.Contains(s, "n=6") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds did not panic")
+		}
+	}()
+	NewHistogram(10, 10)
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(3)
+	if h.N() != 0 || h.Mean() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("nil histogram not zero")
+	}
+	if h.Buckets() != nil {
+		t.Error("nil histogram has buckets")
+	}
+	if h.String() != "histogram(empty)" {
+		t.Errorf("String() = %q", h.String())
+	}
+}
+
+func TestEventBufferLimit(t *testing.T) {
+	b := &EventBuffer{Limit: 2}
+	for i := 0; i < 5; i++ {
+		b.Append(Event{Track: "t", Name: "e", Start: int64(i)})
+	}
+	if len(b.Events) != 2 {
+		t.Errorf("kept %d events, want 2", len(b.Events))
+	}
+	if !b.Truncated {
+		t.Error("buffer over limit not marked truncated")
+	}
+	var nilBuf *EventBuffer
+	nilBuf.Append(Event{}) // must not panic
+}
+
+func TestStallCauseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range StallCauses() {
+		s := c.String()
+		if s == "" || s == "unknown" {
+			t.Errorf("cause %d has no name: %q", int(c), s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate cause name %q", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != int(NumStallCauses) {
+		t.Errorf("%d named causes, want %d", len(seen), NumStallCauses)
+	}
+	if got := StallCause(250).String(); got != "unknown" {
+		t.Errorf("out-of-range cause = %q", got)
+	}
+}
+
+// TestProbesNilSafe drives every probe method through a nil receiver — the
+// contract that lets the simulators instrument unconditionally.
+func TestProbesNilSafe(t *testing.T) {
+	var d *DeviceProbe
+	d.OnActivate(0, 0, 4)
+	d.OnPrecharge(0, 0, 4)
+	d.OnColumn(0, false, 0, 4)
+	d.OnRetire(0, 0, 4)
+	d.OnData(0, true, 0, 4)
+	d.OnAccess(0, true, false)
+	d.SetIdleCause(StallFIFOEmpty)
+	d.ChargeStall(StallColumn, 3)
+	if d.IdleCause() != StallNoRequest || d.IdleTotal() != 0 || d.DataBusBusy() != 0 {
+		t.Error("nil device probe not zero")
+	}
+	if d.PerBank() != nil || (d.Totals() != BankCounters{}) {
+		t.Error("nil device probe has banks")
+	}
+	var f *FIFOProbe
+	f.OnDepth(0, 3)
+	f.OnService(0, 4, false)
+	f.OnBlocked(0, 4, true)
+	var c *ControllerProbe
+	c.OnDecision("x")
+	c.ObserveMissLatency(12)
+	var col *Collector
+	col.Finalize(100)
+	if col.FIFO(0, "x") != nil {
+		t.Error("nil collector minted a FIFO probe")
+	}
+	if col.Report() != nil {
+		t.Error("nil collector produced a report")
+	}
+}
+
+func TestDeviceProbeCountersAndSeries(t *testing.T) {
+	c := New(Options{Window: 8})
+	p := c.Device
+	p.OnActivate(1, 0, 4)
+	p.OnPrecharge(1, 4, 8)
+	p.OnColumn(1, false, 8, 12)
+	p.OnRetire(1, 12, 16)
+	p.OnData(1, false, 12, 16)
+	p.OnData(1, true, 16, 20)
+	p.OnAccess(1, true, false)
+	p.OnAccess(1, false, true)
+	p.OnAccess(1, false, false)
+
+	tot := p.Totals()
+	if tot.Activates != 1 || tot.Precharges != 1 || tot.Reads != 1 || tot.Writes != 1 || tot.Retires != 1 {
+		t.Errorf("totals = %+v", tot)
+	}
+	if tot.PageHits != 1 || tot.PageConflicts != 1 || tot.PageMisses != 2 {
+		t.Errorf("page outcomes = %+v", tot)
+	}
+	if got := len(p.PerBank()); got != 2 {
+		t.Errorf("banks = %d, want 2 (lazy grow through index 1)", got)
+	}
+	if p.DataBusBusy() != 8 {
+		t.Errorf("data busy = %d, want 8", p.DataBusBusy())
+	}
+	row, colS, data := p.BusSeries()
+	if sumVals(row.Values()) != 8 || sumVals(colS.Values()) != 8 || sumVals(data.Values()) != 8 {
+		t.Errorf("bus series row=%v col=%v data=%v", row.Values(), colS.Values(), data.Values())
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	c := New(Options{})
+	p := c.Device
+	if p.IdleCause() != StallNoRequest {
+		t.Errorf("zero idle cause = %v", p.IdleCause())
+	}
+	p.SetIdleCause(StallDependency)
+	p.ChargeStall(p.IdleCause(), 10)
+	p.ChargeStall(StallColumn, 5)
+	p.ChargeStall(StallColumn, -3) // non-positive charges ignored
+	if p.IdleTotal() != 15 {
+		t.Errorf("idle total = %d, want 15", p.IdleTotal())
+	}
+	st := p.Stalls()
+	if st[StallDependency] != 10 || st[StallColumn] != 5 {
+		t.Errorf("stalls = %v", st)
+	}
+}
+
+func TestCollectorFIFOGetOrCreate(t *testing.T) {
+	c := New(Options{Window: 16})
+	a := c.FIFO(2, "write y")
+	if len(c.FIFOs) != 3 || c.FIFOs[0] != nil || c.FIFOs[1] != nil {
+		t.Fatalf("FIFO slice = %v", c.FIFOs)
+	}
+	if b := c.FIFO(2, "ignored"); b != a {
+		t.Error("second FIFO(2) minted a new probe")
+	}
+	a.OnDepth(3, 7)
+	a.OnBlocked(10, 14, true)
+	a.OnBlocked(14, 15, false)
+	if a.FullStalls != 1 || a.FullStallCycles != 4 || a.EmptyStalls != 1 || a.EmptyStallCycles != 1 {
+		t.Errorf("stalls = %+v", a)
+	}
+	a.OnBlocked(5, 5, true) // empty episode ignored
+	if a.FullStalls != 1 {
+		t.Error("zero-length episode counted")
+	}
+}
+
+func TestWriteJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{Track: "bank 0", Name: "ACT", Start: 0, End: 4},
+		{Track: "fifo 0 read x", Name: "depth", Start: 7, Value: 3, Counter: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	for i, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if ev != events[i] {
+			t.Errorf("line %d = %+v, want %+v", i, ev, events[i])
+		}
+	}
+}
+
+func TestWriteChromeTraceStructure(t *testing.T) {
+	events := []Event{
+		{Track: "bank 1", Name: "ACT", Start: 10, End: 14},
+		{Track: "bank 0", Name: "DATA rd", Start: 20, End: 24},
+		{Track: "fifo 0 read x", Name: "depth", Start: 5, Value: 2, Counter: true},
+		{Track: "bank 0", Name: "PRER", Start: 30, End: 30}, // zero-length span
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 3 tracks -> 3 metadata records + 4 events.
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("%d records, want 7", len(doc.TraceEvents))
+	}
+	// Metadata names the tracks deterministically (sorted), tids from 1.
+	meta := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			meta[ev.Args["name"].(string)] = ev.Tid
+		}
+	}
+	if meta["bank 0"] != 1 || meta["bank 1"] != 2 || meta["fifo 0 read x"] != 3 {
+		t.Errorf("tids = %v", meta)
+	}
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "C" && ev.Name == "depth":
+			if ev.Args["value"].(float64) != 2 {
+				t.Errorf("counter value = %v", ev.Args["value"])
+			}
+		case ev.Ph == "X" && ev.Name == "PRER":
+			if ev.Dur != 1 {
+				t.Errorf("zero-length span dur = %g, want 1", ev.Dur)
+			}
+		}
+	}
+}
+
+func TestCollectorExporters(t *testing.T) {
+	c := New(Options{Window: 4, CaptureEvents: true, EventLimit: 8})
+	c.Device.OnActivate(0, 0, 4)
+	c.Device.OnData(0, false, 4, 8)
+	c.Device.ChargeStall(StallActivate, 4)
+	c.FIFO(0, "read x").OnDepth(2, 5)
+	c.Controller.OnDecision("roundrobin")
+	c.Controller.ObserveMissLatency(20)
+	c.Finalize(8)
+
+	rep := c.Report()
+	if rep.Cycles != 8 || rep.DataBusBusy != 4 || rep.IdleCycles != 4 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.Stalls["activate"] != 4 {
+		t.Errorf("stalls = %v", rep.Stalls)
+	}
+	if rep.Decisions["roundrobin"] != 1 || rep.MissLatencyAvg != 20 {
+		t.Errorf("controller fields = %+v", rep)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("metrics JSON invalid")
+	}
+
+	buf.Reset()
+	if err := c.WriteSeriesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	header := lines[0]
+	for _, wantCol := range []string{"window_start_cycle", "row_busy", "col_busy", "data_busy", "bandwidth_mbps", "depth_read x"} {
+		if !strings.Contains(header, wantCol) {
+			t.Errorf("CSV header %q missing %q", header, wantCol)
+		}
+	}
+	if len(lines) != 3 { // header + two 4-cycle windows
+		t.Errorf("CSV has %d lines, want 3: %q", len(lines), buf.String())
+	}
+
+	buf.Reset()
+	if err := c.WriteEventsJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Errorf("JSONL lines = %d, want 3 (ACT, DATA, depth)", got)
+	}
+	buf.Reset()
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("chrome trace invalid")
+	}
+}
+
+func TestExportersRequireCapture(t *testing.T) {
+	c := New(Options{}) // no CaptureEvents
+	var buf bytes.Buffer
+	if err := c.WriteEventsJSONL(&buf); err == nil {
+		t.Error("WriteEventsJSONL without capture did not error")
+	}
+	if err := c.WriteChromeTrace(&buf); err == nil {
+		t.Error("WriteChromeTrace without capture did not error")
+	}
+}
+
+func TestEventCaptureOffByDefault(t *testing.T) {
+	c := New(Options{})
+	if c.Events != nil {
+		t.Error("event buffer allocated without CaptureEvents")
+	}
+	// Hooks still work, they just keep counters only.
+	c.Device.OnData(0, false, 0, 4)
+	if c.Device.DataBusBusy() != 4 {
+		t.Error("counters lost without capture")
+	}
+}
+
+func TestBankTrackFallback(t *testing.T) {
+	if bankTrack(3) != "bank 3" {
+		t.Errorf("bankTrack(3) = %q", bankTrack(3))
+	}
+	if bankTrack(99) != "bank 16+" {
+		t.Errorf("bankTrack(99) = %q", bankTrack(99))
+	}
+}

@@ -42,6 +42,8 @@ import (
 	"rdramstream/internal/sim"
 	"rdramstream/internal/smc"
 	"rdramstream/internal/stream"
+	"rdramstream/internal/telemetry"
+	"rdramstream/internal/trace"
 )
 
 // Core workload types, re-exported from the implementation packages so
@@ -182,3 +184,39 @@ func TuneFIFODepth(sc Scenario, depths []int, tolerance float64) (int, []DepthRe
 // DefaultDevice returns the paper's device configuration: eight banks,
 // 1 KB pages, the Figure 2 timing, refresh disabled.
 func DefaultDevice() DeviceConfig { return rdram.DefaultConfig() }
+
+// Observability layer: cycle-level telemetry and trace validation.
+type (
+	// Telemetry collects cycle-level instrumentation for one run: per-bank
+	// device counters, windowed bus occupancy and bandwidth, stall-cause
+	// attribution of idle DATA-bus cycles, FIFO depth/starvation, and the
+	// miss-latency histogram. Attach it via Scenario.Telemetry and read it
+	// back (Report, WriteMetricsJSON, WriteSeriesCSV, WriteChromeTrace,
+	// WriteEventsJSONL) after the run.
+	Telemetry = telemetry.Collector
+	// TelemetryOptions configures NewTelemetry (window width, event
+	// capture).
+	TelemetryOptions = telemetry.Options
+	// TelemetryReport is the JSON-friendly snapshot of a Telemetry.
+	TelemetryReport = telemetry.Report
+	// StallCause classifies why a DATA-bus cycle went idle.
+	StallCause = telemetry.StallCause
+	// TraceEvent is one packet scheduled on a device bus.
+	TraceEvent = rdram.TraceEvent
+	// TraceRecorder collects TraceEvents (hand its Hook to
+	// Scenario.Trace).
+	TraceRecorder = rdram.Recorder
+	// TraceViolation is one Direct RDRAM protocol rule broken by a trace.
+	TraceViolation = trace.Violation
+)
+
+// NewTelemetry builds a telemetry collector; the zero Options give
+// 256-cycle windows with event capture off.
+func NewTelemetry(o TelemetryOptions) *Telemetry { return telemetry.New(o) }
+
+// CheckTrace validates a recorded device trace against the Direct RDRAM
+// protocol rules of the paper's Figure 2 — an oracle independent of the
+// device implementation. It returns every violation found (nil = clean).
+func CheckTrace(cfg DeviceConfig, events []TraceEvent) []TraceViolation {
+	return trace.NewChecker(cfg).Check(events)
+}
