@@ -80,6 +80,54 @@ func BenchmarkFigure7AllPanels(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure7Serial regenerates the sixteen-panel grid on one worker
+// — the baseline for the parallel-sweep speedup (BENCH_parallel_sweep.json
+// compares this against BenchmarkFigure7Parallel4).
+func BenchmarkFigure7Serial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7Parallel(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7Parallel4 regenerates the grid on four workers. The
+// speedup over BenchmarkFigure7Serial tracks the available cores (on a
+// single-core machine it is honestly ~1x).
+func BenchmarkFigure7Parallel4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7Parallel(4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial runs the determinism-test scenario sweep serially.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel4 runs the same sweep on four workers.
+func BenchmarkSweepParallel4(b *testing.B) { benchSweep(b, 4) }
+
+func benchSweep(b *testing.B, workers int) {
+	var scs []rdramstream.Scenario
+	for _, kn := range []string{"copy", "daxpy", "hydro", "vaxpy"} {
+		for _, scheme := range []rdramstream.Interleave{rdramstream.CLI, rdramstream.PI} {
+			for _, depth := range []int{8, 32, 128} {
+				scs = append(scs, rdramstream.Scenario{
+					KernelName: kn, N: 1024, Scheme: scheme, Mode: rdramstream.SMC,
+					FIFODepth: depth, Placement: rdramstream.Staggered, SkipVerify: true,
+				})
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rdramstream.SimulateAll(scs, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFigure8StridedFill regenerates the strided cacheline-fill table.
 func BenchmarkFigure8StridedFill(b *testing.B) {
 	for i := 0; i < b.N; i++ {

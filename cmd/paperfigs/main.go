@@ -28,6 +28,7 @@ func main() {
 	charts := flag.Bool("charts", false, "render Figure 7 panels as ASCII charts instead of tables")
 	csvDir := flag.String("csv", "", "directory to write CSV copies of each table")
 	svgDir := flag.String("svg", "", "directory to write SVG renderings of Figures 7, 8, and 9")
+	workers := flag.Int("workers", 0, "worker count for figure regeneration (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	writeSVG := func(name, content string) {
@@ -82,7 +83,7 @@ func main() {
 		fmt.Println(s)
 	}
 	if all || *fig == 7 {
-		panels, err := experiments.Figure7()
+		panels, err := experiments.Figure7Parallel(*workers)
 		if err != nil {
 			fatal(err)
 		}

@@ -146,7 +146,7 @@ func printSummary(sc rdramstream.Scenario, out rdramstream.Outcome, col *rdramst
 	fmt.Printf("cycles      %d, bandwidth %.2f%% of peak (%.0f MB/s)\n",
 		out.Cycles, out.PercentPeak, out.EffectiveMBps)
 	fmt.Printf("data bus    busy %d cycles, idle %d cycles (%.1f%% utilization)\n",
-		rep.DataBusBusy, rep.IdleCycles, 100*float64(rep.DataBusBusy)/float64(max64(out.Cycles, 1)))
+		rep.DataBusBusy, rep.IdleCycles, 100*float64(rep.DataBusBusy)/float64(max(out.Cycles, 1)))
 
 	type kv struct {
 		name string
@@ -159,7 +159,7 @@ func printSummary(sc rdramstream.Scenario, out rdramstream.Outcome, col *rdramst
 	sort.Slice(stalls, func(i, j int) bool { return stalls[i].v > stalls[j].v })
 	fmt.Println("\nidle DATA-bus cycles by cause:")
 	for _, s := range stalls {
-		fmt.Printf("  %-12s %8d  (%5.1f%% of idle)\n", s.name, s.v, 100*float64(s.v)/float64(max64(rep.IdleCycles, 1)))
+		fmt.Printf("  %-12s %8d  (%5.1f%% of idle)\n", s.name, s.v, 100*float64(s.v)/float64(max(rep.IdleCycles, 1)))
 	}
 
 	if len(rep.FIFOs) > 0 {
@@ -300,13 +300,6 @@ func writeFile(path string, fn func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func fatalf(format string, args ...any) {

@@ -8,13 +8,18 @@
 //	sweep -var stride -kernel vaxpy -mode natural  # stride sweep
 //	sweep -var banks -kernel daxpy -mode smc       # bank-count sweep
 //	sweep -var length -kernel copy -mode smc       # vector-length sweep
+//	sweep -parallel 1                              # force a serial run
+//	sweep -bench-out BENCH_parallel_sweep.json     # time serial vs parallel
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"rdramstream"
 )
@@ -25,6 +30,8 @@ func main() {
 	n := flag.Int("n", 1024, "stream length (fixed unless -var length)")
 	mode := flag.String("mode", "smc", "controller: smc or natural")
 	fifo := flag.Int("fifo", 32, "FIFO depth (fixed unless -var fifo)")
+	parallel := flag.Int("parallel", 0, "worker count for the sweep (0 = GOMAXPROCS, 1 = serial)")
+	benchOut := flag.String("bench-out", "", "time the sweep serial vs parallel and write a JSON report to this file")
 	flag.Parse()
 
 	base := rdramstream.Scenario{
@@ -41,52 +48,126 @@ func main() {
 		base.Mode = rdramstream.SMC
 	}
 
-	run := func(sc rdramstream.Scenario, x int) {
+	// Build the scenario list up front (two schemes per sweep point, in
+	// output order), then run it on the worker pool: the CSV is identical
+	// for any worker count.
+	var scs []rdramstream.Scenario
+	var values []int
+	add := func(sc rdramstream.Scenario, x int) {
 		for _, scheme := range []rdramstream.Interleave{rdramstream.CLI, rdramstream.PI} {
 			sc.Scheme = scheme
-			out, err := rdramstream.Simulate(sc)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "sweep:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("%s,%d,%v,%.2f,%.2f,%d\n", *variable, x, scheme, out.PercentPeak, out.EffectiveMBps, out.Cycles)
+			scs = append(scs, sc)
+			values = append(values, x)
 		}
 	}
-
-	fmt.Println("variable,value,scheme,percent_peak,mbps,cycles")
 	switch strings.ToLower(*variable) {
 	case "fifo":
 		for _, f := range []int{8, 16, 32, 64, 128, 256} {
 			sc := base
 			sc.FIFODepth = f
-			run(sc, f)
+			add(sc, f)
 		}
 	case "stride":
 		for _, s := range []int64{1, 2, 4, 8, 16, 32} {
 			sc := base
 			sc.Stride = s
-			run(sc, int(s))
+			add(sc, int(s))
 		}
 	case "banks":
 		for _, b := range []int{2, 4, 8, 16, 32} {
 			sc := base
 			sc.Device.Geometry.Banks = b
-			run(sc, b)
+			add(sc, b)
 		}
 	case "length":
 		for _, l := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
 			sc := base
 			sc.N = l
-			run(sc, l)
+			add(sc, l)
 		}
 	case "pagesize":
 		for _, pw := range []int{32, 64, 128, 256, 512} {
 			sc := base
 			sc.Device.Geometry.PageWords = pw
-			run(sc, pw)
+			add(sc, pw)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown variable %q\n", *variable)
 		os.Exit(1)
 	}
+
+	render := func(workers int) (string, time.Duration) {
+		start := time.Now()
+		outs, err := rdramstream.SimulateAll(scs, workers)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		var b strings.Builder
+		b.WriteString("variable,value,scheme,percent_peak,mbps,cycles\n")
+		for i, out := range outs {
+			fmt.Fprintf(&b, "%s,%d,%v,%.2f,%.2f,%d\n",
+				*variable, values[i], scs[i].Scheme, out.PercentPeak, out.EffectiveMBps, out.Cycles)
+		}
+		return b.String(), elapsed
+	}
+
+	if *benchOut != "" {
+		benchmark(*benchOut, render)
+		return
+	}
+	csv, _ := render(*parallel)
+	fmt.Print(csv)
+}
+
+// benchmark times the sweep with one worker and with four, checks the two
+// CSVs are byte-identical, and writes a JSON report. On a single-core
+// machine the speedup is honestly ~1x; the report records the core count
+// so readers can tell.
+func benchmark(path string, render func(workers int) (string, time.Duration)) {
+	const workers = 4
+	// Warm once so neither timed run pays one-time costs.
+	render(1)
+	serialCSV, serialTime := render(1)
+	parallelCSV, parallelTime := render(workers)
+	report := struct {
+		Sweep        string  `json:"sweep"`
+		Scenarios    int     `json:"scenarios"`
+		Cores        int     `json:"cores"`
+		Workers      int     `json:"workers"`
+		SerialMs     float64 `json:"serial_ms"`
+		ParallelMs   float64 `json:"parallel_ms"`
+		Speedup      float64 `json:"speedup"`
+		IdenticalCSV bool    `json:"identical_csv"`
+		Note         string  `json:"note,omitempty"`
+	}{
+		Sweep:        "sweep",
+		Scenarios:    strings.Count(serialCSV, "\n") - 1,
+		Cores:        runtime.NumCPU(),
+		Workers:      workers,
+		SerialMs:     float64(serialTime.Microseconds()) / 1000,
+		ParallelMs:   float64(parallelTime.Microseconds()) / 1000,
+		Speedup:      serialTime.Seconds() / parallelTime.Seconds(),
+		IdenticalCSV: serialCSV == parallelCSV,
+	}
+	if report.Cores < report.Workers {
+		report.Note = fmt.Sprintf("machine has %d core(s); speedup scales with cores up to the worker count", report.Cores)
+	}
+	if !report.IdenticalCSV {
+		fmt.Fprintln(os.Stderr, "sweep: serial and parallel CSVs differ")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serial %.1f ms, %d workers %.1f ms, speedup %.2fx (%d cores); wrote %s\n",
+		report.SerialMs, workers, report.ParallelMs, report.Speedup, report.Cores, path)
 }

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/rdram"
+	"rdramstream/internal/stream"
+	"rdramstream/internal/telemetry"
+)
+
+// Peek reads one word from device storage through the mapper without
+// advancing time — the functional read every controller uses to merge
+// unmodified words into line- or packet-granularity writes.
+func Peek(dev *rdram.Device, m *addrmap.Mapper, addr int64) uint64 {
+	loc := m.Map(addr)
+	return dev.PeekWord(loc.Bank, loc.Row, loc.Col, loc.Word)
+}
+
+// StoreValues functionally executes the kernel over a shadow of device
+// memory and returns every word it stores — the data a timing controller
+// transmits on its write transactions. Reads hit the shadow first so
+// loop-carried values are seen; unwritten addresses read current device
+// contents.
+func StoreValues(dev *rdram.Device, m *addrmap.Mapper, k *stream.Kernel) map[int64]uint64 {
+	shadow := make(map[int64]uint64)
+	vals := make(map[int64]uint64)
+	k.Replay(
+		func(addr int64) uint64 {
+			if v, ok := shadow[addr]; ok {
+				return v
+			}
+			return Peek(dev, m, addr)
+		},
+		func(addr int64, v uint64) {
+			shadow[addr] = v
+			vals[addr] = v
+		},
+	)
+	return vals
+}
+
+// Attach wires a telemetry collector to the device and declares the
+// controller's default idle cause, returning the controller probe (nil
+// collector returns nil, and the nil-safe probes make that free). Any
+// controller built on the engine gets device counters and stall
+// attribution through this one call.
+func Attach(dev *rdram.Device, col *telemetry.Collector, idle telemetry.StallCause) *telemetry.ControllerProbe {
+	if col == nil {
+		return nil
+	}
+	dev.Telemetry = col.Device
+	col.Device.SetIdleCause(idle)
+	return col.Controller
+}
+
+// Window models the device's bounded pipeline of outstanding transactions
+// (the Direct RDRAM supports four): a transaction may not be presented
+// before the one `limit` positions back has completed.
+type Window struct {
+	limit int
+	done  []int64
+}
+
+// NewWindow builds a window admitting up to limit concurrent transactions;
+// limit must be positive.
+func NewWindow(limit int) *Window {
+	if limit <= 0 {
+		panic("engine: Window limit must be positive")
+	}
+	return &Window{limit: limit}
+}
+
+// Admit returns the earliest time a new transaction may be presented, no
+// earlier than at.
+func (w *Window) Admit(at int64) int64 {
+	if len(w.done) >= w.limit {
+		at = max(at, w.done[len(w.done)-w.limit])
+	}
+	return at
+}
+
+// Complete records an admitted transaction's completion time. Calls must
+// be in admission order.
+func (w *Window) Complete(t int64) { w.done = append(w.done, t) }

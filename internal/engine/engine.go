@@ -1,0 +1,93 @@
+// Package engine is the shared controller layer the paper's comparison is
+// built on: one device model (internal/rdram), many access-ordering
+// policies. It holds everything the controller implementations used to
+// duplicate privately —
+//
+//   - the common Result type and the bandwidth math (PercentPeak,
+//     PercentAttainable, EffectiveMBps) computed in exactly one place;
+//   - the matched-bandwidth CPU front-end (FrontEnd) that walks a kernel's
+//     accesses in natural order at one element per t_PACK/w_p cycles;
+//   - the outstanding-transaction pipeline window (Window) of the
+//     conventional controllers;
+//   - functional helpers (Peek, StoreValues) for reading device storage
+//     and computing a kernel's store image;
+//   - the telemetry attachment point (Attach), so any controller built on
+//     the engine gets stall attribution without touching device internals;
+//   - a registry of named controllers (Register/Lookup), the extension
+//     point for new scheduling policies: implement Controller, register it,
+//     and sim.Run/cmd/rdsim reach it by name; and
+//   - a bounded worker pool (Map/RunAll) that the scenario and figure
+//     sweeps run on, with deterministic, input-ordered results.
+//
+// The packages internal/natorder, internal/smc, and internal/workload
+// implement Controller on top of this layer; internal/fpm shares the
+// bandwidth math for its fast-page-mode system.
+package engine
+
+import (
+	"rdramstream/internal/rdram"
+)
+
+// Result is the common outcome every controller reports. Controllers fill
+// the raw counters (Cycles, UsefulWords, TransferredWords, Device, and any
+// controller-specific extras) and call Finalize, which derives the
+// bandwidth figures identically for every policy.
+type Result struct {
+	// Cycles is the total simulated time in 400 MHz interface cycles.
+	Cycles int64
+	// UsefulWords is the number of stream elements the processor consumed
+	// or produced (iterations × streams).
+	UsefulWords int64
+	// TransferredWords counts every word moved on the data bus, useful or
+	// not (whole packets, whole cachelines).
+	TransferredWords int64
+	// PercentPeak is the effective bandwidth as a percentage of the
+	// device's peak, counting only useful words (the paper's Eq 5.1).
+	PercentPeak float64
+	// PercentAttainable rescales PercentPeak by the densest packet packing
+	// the access pattern permits (Figure 9's y-axis: non-unit strides can
+	// use at most one word of each two-word packet).
+	PercentAttainable float64
+	// EffectiveMBps is the useful data rate in MB/s (one cycle = 2.5 ns).
+	EffectiveMBps float64
+	// CPUStallCycles is the time the processor spent blocked on the
+	// controller (empty read FIFO or full write FIFO; zero for controllers
+	// without a decoupled front-end).
+	CPUStallCycles int64
+	// Device holds the device's operation counters.
+	Device rdram.Stats
+	// CacheHitRate and DirtyWritebacks are populated by controllers that
+	// model a real processor cache in front of the memory.
+	CacheHitRate    float64
+	DirtyWritebacks int64
+}
+
+// nsPerCycle is the Direct RDRAM interface clock period (400 MHz).
+const nsPerCycle = 2.5
+
+// PercentOfPeak is the paper's Eq 5.1: the bandwidth of `words` words
+// moved in `cycles` cycles, as a percentage of a device whose peak rate is
+// one word per peakCyclesPerWord cycles.
+func PercentOfPeak(words, cycles int64, peakCyclesPerWord float64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return 100 * float64(words) * peakCyclesPerWord / float64(cycles)
+}
+
+// Finalize derives PercentPeak, PercentAttainable, and EffectiveMBps from
+// the raw counters. Every controller calls it; no bandwidth math lives
+// anywhere else.
+func (r *Result) Finalize(peakCyclesPerWord float64) {
+	if r.Cycles <= 0 {
+		return
+	}
+	r.PercentPeak = PercentOfPeak(r.UsefulWords, r.Cycles, peakCyclesPerWord)
+	r.PercentAttainable = r.PercentPeak
+	if r.TransferredWords > 0 {
+		if frac := float64(r.UsefulWords) / float64(r.TransferredWords); frac < 1 {
+			r.PercentAttainable = r.PercentPeak / frac
+		}
+	}
+	r.EffectiveMBps = float64(r.UsefulWords*8) / (float64(r.Cycles) * nsPerCycle) * 1000
+}

@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn for every index in [0, n) on a bounded worker pool and
+// returns the results in input order — parallel execution is an
+// implementation detail, never visible in the output. workers <= 0 uses
+// GOMAXPROCS; one worker degenerates to a plain loop, so serial and
+// parallel runs of deterministic jobs are byte-identical. If any job
+// fails, the error of the lowest failing index is returned (again
+// independent of scheduling) and the results are discarded.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					results[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RunAll executes self-contained simulation jobs — each typically closing
+// over its own scenario and building its own device — on the worker pool,
+// returning the results in input order. It is the engine-level sweep
+// executor; internal/sim wraps it for Scenario lists.
+func RunAll(workers int, jobs []func() (Result, error)) ([]Result, error) {
+	return Map(workers, len(jobs), func(i int) (Result, error) { return jobs[i]() })
+}

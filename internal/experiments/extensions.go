@@ -59,6 +59,9 @@ func WritebackAblation() (*Table, error) {
 		Header: []string{"kernel", "scheme", "direct store", "write-allocate", "SMC (fifo 128)"},
 		Notes:  []string{"'direct store' is the paper's optimistic model; write-allocate fetches store lines and writes back on eviction"},
 	}
+	// Three scenarios per (kernel, scheme) row, run on the worker pool and
+	// read back in scenario order.
+	var scs []sim.Scenario
 	for _, kn := range Figure7Kernels {
 		for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
 			base := sim.Scenario{KernelName: kn, N: 1024, Scheme: scheme,
@@ -70,15 +73,22 @@ func WritebackAblation() (*Table, error) {
 			smcSc := base
 			smcSc.Mode = sim.SMC
 			smcSc.FIFODepth = 128
-			var cells []string
-			for _, sc := range []sim.Scenario{direct, wa, smcSc} {
-				out, err := sim.Run(sc)
-				if err != nil {
-					return nil, err
-				}
-				cells = append(cells, f1(out.PercentPeak))
+			scs = append(scs, direct, wa, smcSc)
+		}
+	}
+	outs, err := sim.RunAll(scs, 0)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, kn := range Figure7Kernels {
+		for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+			row := []string{kn, scheme.String()}
+			for range 3 {
+				row = append(row, f1(outs[i].PercentPeak))
+				i++
 			}
-			t.Rows = append(t.Rows, append([]string{kn, scheme.String()}, cells...))
+			t.Rows = append(t.Rows, row)
 		}
 	}
 	return t, nil

@@ -6,6 +6,7 @@ import (
 	"rdramstream/internal/addrmap"
 	"rdramstream/internal/analytic"
 	"rdramstream/internal/dram"
+	"rdramstream/internal/engine"
 	"rdramstream/internal/natorder"
 	"rdramstream/internal/rdram"
 	"rdramstream/internal/sim"
@@ -182,20 +183,29 @@ var (
 )
 
 // Figure7 computes all sixteen panels (4 kernels x 2 schemes x 2 lengths).
-func Figure7() ([]*Panel, error) {
-	var panels []*Panel
+func Figure7() ([]*Panel, error) { return Figure7Parallel(0) }
+
+// Figure7Parallel computes the sixteen panels on a bounded worker pool
+// (workers <= 0 uses GOMAXPROCS). Each panel builds its own devices, so
+// the panels are independent; the output order and contents are identical
+// to the serial run.
+func Figure7Parallel(workers int) ([]*Panel, error) {
+	type job struct {
+		kernel string
+		scheme addrmap.Scheme
+		n      int
+	}
+	var jobs []job
 	for _, kn := range Figure7Kernels {
 		for _, n := range Figure7Lengths {
 			for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
-				p, err := Figure7Panel(kn, scheme, n)
-				if err != nil {
-					return nil, err
-				}
-				panels = append(panels, p)
+				jobs = append(jobs, job{kn, scheme, n})
 			}
 		}
 	}
-	return panels, nil
+	return engine.Map(workers, len(jobs), func(i int) (*Panel, error) {
+		return Figure7Panel(jobs[i].kernel, jobs[i].scheme, jobs[i].n)
+	})
 }
 
 // Figure8 regenerates the strided single-stream cacheline-fill bounds
@@ -253,23 +263,27 @@ func Figure9() (*Table, error) {
 		Header: []string{"stride", "PI SMC", "CLI SMC", "PI cache", "CLI cache"},
 		Notes:  []string{"attainable bandwidth for non-unit strides is 50% of peak (one word per packet)"},
 	}
+	// Two scenarios per stride (PI then CLI), run on the worker pool and
+	// read back in scenario order.
+	var scs []sim.Scenario
 	for _, stride := range Figure9Strides {
-		var smcVals [2]float64
-		for i, scheme := range []addrmap.Scheme{addrmap.PI, addrmap.CLI} {
-			out, err := sim.Run(sim.Scenario{
+		for _, scheme := range []addrmap.Scheme{addrmap.PI, addrmap.CLI} {
+			scs = append(scs, sim.Scenario{
 				KernelName: "vaxpy", N: 1024, Stride: int64(stride), Scheme: scheme,
 				Mode: sim.SMC, FIFODepth: 128, Placement: stream.Staggered, SkipVerify: true,
 			})
-			if err != nil {
-				return nil, err
-			}
-			smcVals[i] = out.PercentAttainable
 		}
+	}
+	outs, err := sim.RunAll(scs, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i, stride := range Figure9Strides {
 		// Cache bounds for the four-stream strided loop; Figure 9 plots
 		// percent-of-attainable, so the percent-of-peak bound doubles.
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", stride),
-			f1(smcVals[0]), f1(smcVals[1]),
+			f1(outs[2*i].PercentAttainable), f1(outs[2*i+1].PercentAttainable),
 			f1(2 * par.CacheMultiPIStrided(4, 1024, stride)),
 			f1(2 * par.CacheMultiCLIStrided(4, 1024, stride)),
 		})
@@ -287,21 +301,34 @@ func SchedulerAblation() (*Table, error) {
 		Title:  "Scheduler ablation — vaxpy, 1024 elements, FIFO 32 (% of peak)",
 		Header: []string{"scheme", "placement", "round-robin", "bank-aware", "hit-first", "round-robin+spec", "bank-aware+spec", "hit-first+spec"},
 	}
+	// Six scenarios per (scheme, placement) row, in column order; the pool
+	// runs them all at once and the rows are assembled from the ordered
+	// results.
+	var scs []sim.Scenario
 	for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
 		for _, placement := range []stream.Placement{stream.Staggered, stream.Aligned} {
-			row := []string{scheme.String(), placement.String()}
 			for _, spec := range []bool{false, true} {
 				for _, pol := range []smc.Policy{smc.RoundRobin, smc.BankAware, smc.HitFirst} {
-					out, err := sim.Run(sim.Scenario{
+					scs = append(scs, sim.Scenario{
 						KernelName: "vaxpy", N: 1024, Scheme: scheme, Mode: sim.SMC,
 						FIFODepth: 32, Policy: pol, SpeculateActivate: spec,
 						Placement: placement, SkipVerify: true,
 					})
-					if err != nil {
-						return nil, err
-					}
-					row = append(row, f1(out.PercentPeak))
 				}
+			}
+		}
+	}
+	outs, err := sim.RunAll(scs, 0)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+		for _, placement := range []stream.Placement{stream.Staggered, stream.Aligned} {
+			row := []string{scheme.String(), placement.String()}
+			for range 6 {
+				row = append(row, f1(outs[i].PercentPeak))
+				i++
 			}
 			t.Rows = append(t.Rows, row)
 		}

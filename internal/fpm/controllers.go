@@ -3,6 +3,7 @@ package fpm
 import (
 	"fmt"
 
+	"rdramstream/internal/engine"
 	"rdramstream/internal/stream"
 )
 
@@ -93,7 +94,7 @@ func Run(cfg Config, k *stream.Kernel, rc RunConfig) (Result, error) {
 	}
 	if useful > 0 && cycles > 0 {
 		res.CyclesPerWord = float64(cycles) / float64(useful)
-		res.PercentAttainable = 100 * cfg.PeakCyclesPerWord() / res.CyclesPerWord
+		res.PercentAttainable = engine.PercentOfPeak(useful, cycles, cfg.PeakCyclesPerWord())
 	}
 	return res, nil
 }

@@ -28,6 +28,7 @@ import (
 
 	"rdramstream/internal/addrmap"
 	"rdramstream/internal/cache"
+	"rdramstream/internal/engine"
 	"rdramstream/internal/rdram"
 	"rdramstream/internal/stream"
 	"rdramstream/internal/telemetry"
@@ -109,26 +110,10 @@ func DefaultConfig() Config {
 	return Config{Scheme: addrmap.CLI, LineWords: 4}
 }
 
-// Result summarizes one natural-order simulation.
-type Result struct {
-	// Cycles is the total time: the cycle after the last DATA packet.
-	Cycles int64
-	// UsefulWords is the number of stream elements the processor consumed
-	// or produced (iterations × streams).
-	UsefulWords int64
-	// TransferredWords counts every word moved on the data bus, useful or
-	// not (whole packets, whole cachelines).
-	TransferredWords int64
-	// PercentPeak is the effective bandwidth as a percentage of the
-	// device's peak, counting only useful words (the paper's Eq 5.1).
-	PercentPeak float64
-	// Device holds the device's operation counters.
-	Device rdram.Stats
-	// CacheHitRate and DirtyWritebacks are populated when Config.Cache is
-	// set (the realistic-cache mode).
-	CacheHitRate    float64
-	DirtyWritebacks int64
-}
+// Result is the common controller outcome (see engine.Result); Cycles is
+// the cycle after the last DATA packet, and CacheHitRate/DirtyWritebacks
+// are populated when Config.Cache is set (the realistic-cache mode).
+type Result = engine.Result
 
 // Run simulates kernel k over the device through a natural-order cacheline
 // controller and returns timing plus bandwidth results. The device's
@@ -155,31 +140,14 @@ func Run(dev *rdram.Device, k *stream.Kernel, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	s := &sim{dev: dev, mapper: mapper, cfg: cfg}
-	if col := cfg.Telemetry; col != nil {
-		dev.Telemetry = col.Device
-		s.ctl = col.Controller
-		// The natural-order processor issues in order: the bus waits on the
-		// previous iteration's operands, not on an absent request stream.
-		col.Device.SetIdleCause(telemetry.StallDependency)
-	}
+	s := &sim{dev: dev, mapper: mapper, cfg: cfg, window: engine.NewWindow(cfg.Outstanding)}
+	// The natural-order processor issues in order: the bus waits on the
+	// previous iteration's operands, not on an absent request stream.
+	s.ctl = engine.Attach(dev, cfg.Telemetry, telemetry.StallDependency)
 
 	// Phase 1: functional execution over a shadow of device memory,
 	// recording every store value.
-	storeVals := make(map[int64]uint64)
-	shadow := make(map[int64]uint64)
-	k.Replay(
-		func(addr int64) uint64 {
-			if v, ok := shadow[addr]; ok {
-				return v
-			}
-			return s.peek(addr)
-		},
-		func(addr int64, v uint64) {
-			shadow[addr] = v
-			storeVals[addr] = v
-		},
-	)
+	storeVals := engine.StoreValues(dev, mapper, k)
 
 	// Phase 2: timed replay of the cacheline transactions in natural
 	// order.
@@ -198,17 +166,13 @@ func Run(dev *rdram.Device, k *stream.Kernel, cfg Config) (Result, error) {
 	}
 
 	st := dev.Stats()
-	n := int64(k.Iterations()) * int64(len(k.Streams))
 	res := Result{
 		Cycles:           st.LastDataEnd,
-		UsefulWords:      n,
+		UsefulWords:      int64(k.Iterations()) * int64(len(k.Streams)),
 		TransferredWords: st.PacketCount() * rdram.WordsPerPacket,
 		Device:           st,
 	}
-	if res.Cycles > 0 {
-		peak := dev.Config().Timing.CyclesPerWordPeak()
-		res.PercentPeak = 100 * float64(res.UsefulWords) * peak / float64(res.Cycles)
-	}
+	res.Finalize(dev.Config().Timing.CyclesPerWordPeak())
 	if cc != nil {
 		res.CacheHitRate = cc.HitRate()
 		_, _, _, res.DirtyWritebacks = cc.Stats()
@@ -221,17 +185,10 @@ type sim struct {
 	mapper *addrmap.Mapper
 	cfg    Config
 
-	cursor   int64   // first-command time of the most recent transaction
-	inflight []int64 // completion times of issued transactions
+	cursor int64          // first-command time of the most recent transaction
+	window *engine.Window // pipeline of outstanding transactions
 
 	ctl *telemetry.ControllerProbe // nil when telemetry is off
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // streamState tracks a stream's current cacheline during the timing phase.
@@ -268,7 +225,7 @@ func (s *sim) run(k *stream.Kernel, storeVals map[int64]uint64) {
 			line := addr / lw
 			if st.line != line {
 				st.line = line
-				st.pktStarts = s.fetchLine(line, max64(s.cursor, prevDep), autoPre)
+				st.pktStarts = s.fetchLine(line, max(s.cursor, prevDep), autoPre)
 			}
 			pkt := int(addr%lw) / rdram.WordsPerPacket
 			if ready := st.pktStarts[pkt]; ready > iterDep {
@@ -291,10 +248,10 @@ func (s *sim) run(k *stream.Kernel, storeVals map[int64]uint64) {
 				if prev >= 0 && st.dirty {
 					s.writeLine(prev, s.cursor, autoPre, storeVals)
 				}
-				st.pktStarts = s.fetchLine(line, max64(s.cursor, iterDep), autoPre)
+				st.pktStarts = s.fetchLine(line, max(s.cursor, iterDep), autoPre)
 				st.dirty = true
 			} else {
-				s.writeLine(line, max64(s.cursor, iterDep), autoPre, storeVals)
+				s.writeLine(line, max(s.cursor, iterDep), autoPre, storeVals)
 			}
 		}
 		prevDep = iterDep
@@ -308,19 +265,11 @@ func (s *sim) run(k *stream.Kernel, storeVals map[int64]uint64) {
 	}
 }
 
-// admit applies the outstanding-transaction limit.
-func (s *sim) admit(at int64) int64 {
-	if len(s.inflight) >= s.cfg.Outstanding {
-		at = max64(at, s.inflight[len(s.inflight)-s.cfg.Outstanding])
-	}
-	return at
-}
-
 // fetchLine reads every packet of a cacheline and returns each packet's
 // DataStart (the linefill-forwarding availability times).
 func (s *sim) fetchLine(line, at int64, autoPre bool) []int64 {
 	reqAt := at
-	at = s.admit(at)
+	at = s.window.Admit(at)
 	packets := s.cfg.LineWords / rdram.WordsPerPacket
 	base := line * int64(s.cfg.LineWords)
 	starts := make([]int64, packets)
@@ -341,7 +290,7 @@ func (s *sim) fetchLine(line, at int64, autoPre bool) []int64 {
 		starts[p] = res.DataStart
 		complete = res.DataEnd
 	}
-	s.inflight = append(s.inflight, complete)
+	s.window.Complete(complete)
 	return starts
 }
 
@@ -349,7 +298,7 @@ func (s *sim) fetchLine(line, at int64, autoPre bool) []int64 {
 // never stores keep their prior memory contents (read-merge, free of
 // charge, as in the paper's line-granularity store model).
 func (s *sim) writeLine(line, at int64, autoPre bool, storeVals map[int64]uint64) {
-	at = s.admit(at)
+	at = s.window.Admit(at)
 	packets := s.cfg.LineWords / rdram.WordsPerPacket
 	base := line * int64(s.cfg.LineWords)
 	var complete int64
@@ -361,7 +310,7 @@ func (s *sim) writeLine(line, at int64, autoPre bool, storeVals map[int64]uint64
 			if v, ok := storeVals[addr+int64(w)]; ok {
 				data[w] = v
 			} else {
-				data[w] = s.peek(addr + int64(w))
+				data[w] = engine.Peek(s.dev, s.mapper, addr+int64(w))
 			}
 		}
 		res := s.dev.Do(at, rdram.Request{
@@ -374,7 +323,7 @@ func (s *sim) writeLine(line, at int64, autoPre bool, storeVals map[int64]uint64
 		}
 		complete = res.DataEnd
 	}
-	s.inflight = append(s.inflight, complete)
+	s.window.Complete(complete)
 }
 
 // advanceCursor records the first command time of a transaction: the next
@@ -390,10 +339,4 @@ func (s *sim) advanceCursor(res rdram.Result) {
 	if first > s.cursor {
 		s.cursor = first
 	}
-}
-
-// peek reads a word from device storage without timing.
-func (s *sim) peek(addr int64) uint64 {
-	loc := s.mapper.Map(addr)
-	return s.dev.PeekWord(loc.Bank, loc.Row, loc.Col, loc.Word)
 }

@@ -37,11 +37,11 @@ func (s *sim) runThroughCache(k *stream.Kernel, cc *cache.Cache, storeVals map[i
 				if res.Evicted >= 0 {
 					if res.EvictedDirty {
 						// Victim writeback precedes the fill on the bus.
-						s.writeLine(res.Evicted, max64(s.cursor, gate), autoPre, storeVals)
+						s.writeLine(res.Evicted, max(s.cursor, gate), autoPre, storeVals)
 					}
 					delete(ready, res.Evicted)
 				}
-				ready[line] = s.fetchLine(line, max64(s.cursor, gate), autoPre)
+				ready[line] = s.fetchLine(line, max(s.cursor, gate), autoPre)
 			}
 			if si < nr {
 				if starts, ok := ready[line]; ok {

@@ -127,13 +127,6 @@ func (d *Device) checkAddr(bank, row, col int) {
 	}
 }
 
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // emit reports a scheduled packet to the trace hook, if any.
 func (d *Device) emit(kind TraceKind, at int64, dur int, bank, row, col int) {
 	if d.Trace != nil {
@@ -156,14 +149,14 @@ func (d *Device) prechargeAt(b int, at int64, occupyBus bool) int64 {
 	bk := &d.banks[b]
 	tp := at
 	if occupyBus {
-		tp = max64(tp, d.rowBusFree)
+		tp = max(tp, d.rowBusFree)
 	}
 	// The precharge may overlap the tail of the last COL packet by at most
 	// t_CPOL cycles.
-	tp = max64(tp, bk.lastColEnd-int64(t.TCPOL))
+	tp = max(tp, bk.lastColEnd-int64(t.TCPOL))
 	// The row must have been active for at least t_RAS.
 	if bk.everActed {
-		tp = max64(tp, bk.lastAct+int64(t.TRAS()))
+		tp = max(tp, bk.lastAct+int64(t.TRAS()))
 	}
 	if occupyBus {
 		d.rowBusFree = tp + int64(t.TPack)
@@ -189,19 +182,19 @@ func (d *Device) activateAt(b, row int, at int64) int64 {
 	for _, nb := range d.cfg.Geometry.adjacent(b) {
 		if d.banks[nb].open {
 			pre := d.prechargeAt(nb, at, true)
-			at = max64(at, pre+int64(t.TRP))
+			at = max(at, pre+int64(t.TRP))
 		}
 	}
 	dev := d.cfg.Geometry.deviceOf(b)
-	ta := max64(at, d.rowBusFree)
-	ta = max64(ta, bk.preDone)
+	ta := max(at, d.rowBusFree)
+	ta = max(ta, bk.preDone)
 	if d.anyAct[dev] {
 		// t_RR binds consecutive ACT packets to the *same* chip; other
 		// chips on the channel only contend for the ROW bus itself.
-		ta = max64(ta, d.lastAct[dev]+int64(t.TRR))
+		ta = max(ta, d.lastAct[dev]+int64(t.TRR))
 	}
 	if bk.everActed {
-		ta = max64(ta, bk.lastAct+int64(t.TRC))
+		ta = max(ta, bk.lastAct+int64(t.TRC))
 	}
 	d.rowBusFree = ta + int64(t.TPack)
 	bk.open = true
@@ -247,24 +240,24 @@ func (d *Device) AccessReadyAt(bank, row int, at int64) int64 {
 	bk := &d.banks[bank]
 	t := &d.cfg.Timing
 	if bk.open && bk.row == row {
-		return max64(at, bk.rcdReady)
+		return max(at, bk.rcdReady)
 	}
 	ready := at
 	if bk.open {
 		// Page conflict: precharge first.
-		pre := max64(ready, bk.lastColEnd-int64(t.TCPOL))
+		pre := max(ready, bk.lastColEnd-int64(t.TCPOL))
 		if bk.everActed {
-			pre = max64(pre, bk.lastAct+int64(t.TRAS()))
+			pre = max(pre, bk.lastAct+int64(t.TRAS()))
 		}
 		ready = pre + int64(t.TRP)
 	} else {
-		ready = max64(ready, bk.preDone)
+		ready = max(ready, bk.preDone)
 	}
 	if dev := d.cfg.Geometry.deviceOf(bank); d.anyAct[dev] {
-		ready = max64(ready, d.lastAct[dev]+int64(t.TRR))
+		ready = max(ready, d.lastAct[dev]+int64(t.TRR))
 	}
 	if bk.everActed {
-		ready = max64(ready, bk.lastAct+int64(t.TRC))
+		ready = max(ready, bk.lastAct+int64(t.TRC))
 	}
 	return ready + int64(t.TRCD)
 }
@@ -283,7 +276,7 @@ func (d *Device) ActivateBank(b, row int, at int64) int64 {
 	}
 	if bk.open {
 		pre := d.prechargeAt(b, at, true)
-		at = max64(at, pre+int64(d.cfg.Timing.TRP))
+		at = max(at, pre+int64(d.cfg.Timing.TRP))
 	}
 	return d.activateAt(b, row, at)
 }
@@ -343,7 +336,7 @@ func (d *Device) Do(at int64, req Request) Result {
 		d.stats.PageMisses++
 	}
 	d.Telemetry.OnAccess(req.Bank, res.PageHit, res.PreIssue >= 0)
-	earliestCol = max64(earliestCol, bk.rcdReady)
+	earliestCol = max(earliestCol, bk.rcdReady)
 
 	// A COL RET packet retires the write buffer between the last COL WR and
 	// the next COL RD. Its cost is already captured by the data-bus
@@ -361,7 +354,7 @@ func (d *Device) Do(at int64, req Request) Result {
 		}
 	}
 
-	tc := max64(earliestCol, d.colBusFree)
+	tc := max(earliestCol, d.colBusFree)
 
 	// Data packet latency from the COL packet start. Reads see the page-hit
 	// latency t_CAC plus the one extra cycle that makes a page miss cost
@@ -378,7 +371,7 @@ func (d *Device) Do(at int64, req Request) Result {
 	trwBound := int64(-1)
 	if !req.Write && d.anyWrite {
 		trwBound = d.lastWriteDataEnd + int64(t.TRW)
-		minDS = max64(minDS, trwBound)
+		minDS = max(minDS, trwBound)
 	}
 	if ds < minDS {
 		tc += minDS - ds

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/stream"
+)
+
+// sweepScenarios is a mixed workload exercising both controllers, both
+// schemes, and several knobs — the shape of a real cmd/sweep run.
+func sweepScenarios() []Scenario {
+	var scs []Scenario
+	for _, kn := range []string{"copy", "daxpy", "vaxpy"} {
+		for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+			for _, depth := range []int{8, 32, 128} {
+				scs = append(scs, Scenario{
+					KernelName: kn, N: 256, Scheme: scheme, Mode: SMC,
+					FIFODepth: depth, Placement: stream.Staggered, Seed: 3,
+				})
+			}
+			scs = append(scs, Scenario{
+				KernelName: kn, N: 256, Scheme: scheme, Mode: NaturalOrder,
+				Placement: stream.Staggered, Seed: 3,
+			})
+		}
+	}
+	return scs
+}
+
+// renderOutcomes serializes outcomes the two ways the tools export them.
+func renderOutcomes(t *testing.T, outs []Outcome) (csvOut, jsonOut []byte) {
+	t.Helper()
+	var cb bytes.Buffer
+	w := csv.NewWriter(&cb)
+	for i, out := range outs {
+		if err := w.Write([]string{
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", out.Cycles),
+			fmt.Sprintf("%d", out.UsefulWords),
+			fmt.Sprintf("%.10f", out.PercentPeak),
+			fmt.Sprintf("%.10f", out.EffectiveMBps),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	jb, err := json.Marshal(outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), jb
+}
+
+// TestRunAllDeterministic checks the sweep executor's central contract:
+// worker count is invisible in the output. A serial run and runs at
+// several worker counts must produce byte-identical CSV and JSON.
+func TestRunAllDeterministic(t *testing.T) {
+	scs := sweepScenarios()
+	serial, err := RunAll(scs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, wantJSON := renderOutcomes(t, serial)
+	for _, workers := range []int{2, 4, 8, 0} {
+		par, err := RunAll(scs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		gotCSV, gotJSON := renderOutcomes(t, par)
+		if !bytes.Equal(wantCSV, gotCSV) {
+			t.Errorf("workers=%d: CSV differs from serial run", workers)
+		}
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Errorf("workers=%d: JSON differs from serial run", workers)
+		}
+		for i := range serial {
+			if !serial[i].Verified || !par[i].Verified {
+				t.Fatalf("workers=%d scenario %d: not verified", workers, i)
+			}
+		}
+	}
+}
+
+// TestControllerDispatch exercises the registry extension point: named
+// dispatch must reach the registered "conventional" controller (not one of
+// the Mode pair), produce a verified result, and reject unknown names.
+func TestControllerDispatch(t *testing.T) {
+	have := Controllers()
+	for _, want := range []string{"conventional", "natural-order", "smc"} {
+		found := false
+		for _, n := range have {
+			found = found || n == want
+		}
+		if !found {
+			t.Fatalf("Controllers() = %v, missing %q", have, want)
+		}
+	}
+	sc := Scenario{
+		KernelName: "daxpy", N: 256, Scheme: addrmap.CLI,
+		Controller: "conventional", Placement: stream.Staggered, Seed: 5,
+	}
+	out, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Verified {
+		t.Error("conventional controller result not verified")
+	}
+	// With no dependence gating, the conventional controller must be at
+	// least as fast as the dependence-gated natural-order controller on
+	// the same scenario.
+	sc.Controller = ""
+	sc.Mode = NaturalOrder
+	nat, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cycles > nat.Cycles {
+		t.Errorf("conventional %d cycles slower than natural-order %d", out.Cycles, nat.Cycles)
+	}
+	if _, err := Run(Scenario{KernelName: "copy", N: 64, Controller: "no-such"}); err == nil {
+		t.Error("unknown controller name did not error")
+	}
+	if _, err := Run(Scenario{KernelName: "copy", N: 64, Mode: Mode(9)}); err == nil {
+		t.Error("unknown mode did not error")
+	}
+}
+
+// TestRunAllError checks that a failing scenario reports the error of the
+// lowest failing index regardless of worker count.
+func TestRunAllError(t *testing.T) {
+	scs := sweepScenarios()[:6]
+	scs[2].KernelName = "no-such-kernel"
+	scs[5].KernelName = "also-missing"
+	var want error
+	for _, workers := range []int{1, 4} {
+		_, err := RunAll(scs, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if want == nil {
+			want = err
+		} else if err.Error() != want.Error() {
+			t.Errorf("workers=%d: err %q, want %q", workers, err, want)
+		}
+	}
+}

@@ -1,7 +1,7 @@
 // Package sim is the one-stop harness the experiments, examples, and
 // public API use: it lays a kernel's vectors out in memory, seeds the
-// device with a deterministic data pattern, runs either the natural-order
-// controller or the SMC, and verifies the device's final memory image
+// device with a deterministic data pattern, dispatches to a controller
+// from the engine registry, and verifies the device's final memory image
 // against the kernel's golden semantics.
 package sim
 
@@ -12,11 +12,16 @@ import (
 
 	"rdramstream/internal/addrmap"
 	"rdramstream/internal/cache"
-	"rdramstream/internal/natorder"
+	"rdramstream/internal/engine"
 	"rdramstream/internal/rdram"
 	"rdramstream/internal/smc"
 	"rdramstream/internal/stream"
 	"rdramstream/internal/telemetry"
+
+	// Imported for their engine.Register calls: every controller the
+	// Scenario API can name must be linked in.
+	_ "rdramstream/internal/natorder"
+	_ "rdramstream/internal/workload"
 )
 
 // Mode selects the memory controller under test.
@@ -49,6 +54,11 @@ type Scenario struct {
 	Scheme    addrmap.Scheme
 	Placement stream.Placement
 	Mode      Mode
+	// Controller, when non-empty, selects a controller from the engine
+	// registry by name (see Controllers) and overrides Mode. Mode remains
+	// the stable API for the paper's two systems; named dispatch is the
+	// extension point for registered policies like "conventional".
+	Controller string
 
 	// LineWords is the cacheline size (defaults to 4 = 32 bytes).
 	LineWords int
@@ -105,25 +115,33 @@ func (sc Scenario) withDefaults() Scenario {
 	return sc
 }
 
-// Outcome reports a simulation's bandwidth and verification results.
+// Outcome reports a simulation's results: the controller's common outcome
+// (cycles, traffic, and bandwidth figures — see engine.Result) plus the
+// harness's functional check.
 type Outcome struct {
-	// Cycles is the total simulated time in 400 MHz interface cycles.
-	Cycles int64
-	// UsefulWords and TransferredWords account for traffic as in the
-	// controller packages.
-	UsefulWords      int64
-	TransferredWords int64
-	// PercentPeak is the effective bandwidth relative to 1.6 GB/s.
-	PercentPeak float64
-	// PercentAttainable rescales by the stride's densest packet packing.
-	PercentAttainable float64
-	// EffectiveMBps is the useful data rate in MB/s (1 cycle = 2.5 ns).
-	EffectiveMBps float64
+	engine.Result
 	// Verified is true when the final memory image matched the kernel's
 	// golden execution.
 	Verified bool
-	// Device carries the device counters.
-	Device rdram.Stats
+}
+
+// Controllers lists the names accepted by Scenario.Controller, sorted.
+func Controllers() []string { return engine.Names() }
+
+// controllerName resolves the scenario's registry name: the explicit
+// Controller override, else the Mode.
+func (sc Scenario) controllerName() (string, error) {
+	if sc.Controller != "" {
+		return sc.Controller, nil
+	}
+	switch sc.Mode {
+	case NaturalOrder:
+		return "natural-order", nil
+	case SMC:
+		return "smc", nil
+	default:
+		return "", fmt.Errorf("sim: unknown mode %d", int(sc.Mode))
+	}
 }
 
 // BuildKernel lays out and constructs a benchmark kernel for a scenario.
@@ -172,52 +190,24 @@ func RunKernel(k *stream.Kernel, sc Scenario) (Outcome, error) {
 	}
 	shadow := seed(dev, mapper, k, sc.Seed)
 
-	var out Outcome
-	switch sc.Mode {
-	case NaturalOrder:
-		res, err := natorder.Run(dev, k, natorder.Config{
-			Scheme: sc.Scheme, LineWords: sc.LineWords,
-			WriteAllocate: sc.WriteAllocate, Cache: sc.Cache,
-			Telemetry: sc.Telemetry,
-		})
-		if err != nil {
-			return Outcome{}, err
-		}
-		out = Outcome{
-			Cycles: res.Cycles, UsefulWords: res.UsefulWords,
-			TransferredWords: res.TransferredWords,
-			PercentPeak:      res.PercentPeak, PercentAttainable: res.PercentPeak,
-			Device: res.Device,
-		}
-		if res.TransferredWords > 0 {
-			frac := float64(res.UsefulWords) / float64(res.TransferredWords)
-			if frac < 1 {
-				out.PercentAttainable = res.PercentPeak / frac
-			}
-		}
-	case SMC:
-		res, err := smc.Run(dev, k, smc.Config{
-			Scheme: sc.Scheme, LineWords: sc.LineWords, FIFODepth: sc.FIFODepth,
-			Policy: sc.Policy, SpeculateActivate: sc.SpeculateActivate,
-			Telemetry: sc.Telemetry,
-		})
-		if err != nil {
-			return Outcome{}, err
-		}
-		out = Outcome{
-			Cycles: res.Cycles, UsefulWords: res.UsefulWords,
-			TransferredWords: res.TransferredWords,
-			PercentPeak:      res.PercentPeak, PercentAttainable: res.PercentAttainable,
-			Device: res.Device,
-		}
-	default:
-		return Outcome{}, fmt.Errorf("sim: unknown mode %d", int(sc.Mode))
+	name, err := sc.controllerName()
+	if err != nil {
+		return Outcome{}, err
 	}
-
-	// Useful bytes over elapsed time: one cycle is 2.5 ns.
-	if out.Cycles > 0 {
-		out.EffectiveMBps = float64(out.UsefulWords*8) / (float64(out.Cycles) * 2.5) * 1000
+	ctl, ok := engine.Lookup(name)
+	if !ok {
+		return Outcome{}, fmt.Errorf("sim: unknown controller %q (have %v)", name, engine.Names())
 	}
+	res, err := ctl.Run(dev, k, engine.Options{
+		Scheme: sc.Scheme, LineWords: sc.LineWords, FIFODepth: sc.FIFODepth,
+		Policy: int(sc.Policy), SpeculateActivate: sc.SpeculateActivate,
+		WriteAllocate: sc.WriteAllocate, Cache: sc.Cache,
+		Telemetry: sc.Telemetry,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{Result: res}
 	sc.Telemetry.Finalize(out.Cycles)
 
 	if !sc.SkipVerify {
@@ -227,6 +217,14 @@ func RunKernel(k *stream.Kernel, sc Scenario) (Outcome, error) {
 		out.Verified = true
 	}
 	return out, nil
+}
+
+// RunAll executes scenarios on a bounded worker pool (workers <= 0 uses
+// GOMAXPROCS) and returns the outcomes in scenario order. Each scenario
+// builds its own device, so runs are independent; the results are
+// identical to running the scenarios serially.
+func RunAll(scs []Scenario, workers int) ([]Outcome, error) {
+	return engine.Map(workers, len(scs), func(i int) (Outcome, error) { return Run(scs[i]) })
 }
 
 // seed fills every stream element with a deterministic value derived from

@@ -1,0 +1,26 @@
+package smc
+
+import (
+	"rdramstream/internal/engine"
+	"rdramstream/internal/rdram"
+	"rdramstream/internal/stream"
+)
+
+// controller adapts the SMC model to the engine registry, so sim.Run and
+// the sweep executor reach it by name.
+type controller struct{}
+
+func init() { engine.Register(controller{}) }
+
+func (controller) Name() string { return "smc" }
+
+func (controller) Run(dev *rdram.Device, k *stream.Kernel, opt engine.Options) (engine.Result, error) {
+	return Run(dev, k, Config{
+		Scheme:            opt.Scheme,
+		LineWords:         opt.LineWords,
+		FIFODepth:         opt.FIFODepth,
+		Policy:            Policy(opt.Policy),
+		SpeculateActivate: opt.SpeculateActivate,
+		Telemetry:         opt.Telemetry,
+	})
+}

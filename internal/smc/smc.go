@@ -5,7 +5,7 @@ import (
 	"math"
 
 	"rdramstream/internal/addrmap"
-	"rdramstream/internal/cpu"
+	"rdramstream/internal/engine"
 	"rdramstream/internal/rdram"
 	"rdramstream/internal/stream"
 	"rdramstream/internal/telemetry"
@@ -75,28 +75,11 @@ func DefaultConfig() Config {
 	return Config{Scheme: addrmap.CLI, LineWords: 4, FIFODepth: 32}
 }
 
-// Result summarizes one SMC simulation.
-type Result struct {
-	// Cycles is the end-to-end time: every CPU access performed and every
-	// buffered write retired to memory.
-	Cycles int64
-	// UsefulWords is iterations × streams: the elements the processor
-	// consumed or produced.
-	UsefulWords int64
-	// TransferredWords counts whole packets moved on the data bus.
-	TransferredWords int64
-	// PercentPeak is effective bandwidth versus the device's 1.6 GB/s peak.
-	PercentPeak float64
-	// PercentAttainable rescales by the densest possible packing for the
-	// stride (Figure 9's y-axis: non-unit strides can use at most one word
-	// of each two-word packet, so attainable bandwidth is 50% of peak).
-	PercentAttainable float64
-	// CPUStallCycles is the time the processor spent blocked on an empty
-	// read FIFO or a full write FIFO.
-	CPUStallCycles int64
-	// Device holds the device's operation counters.
-	Device rdram.Stats
-}
+// Result is the common controller outcome (see engine.Result); Cycles is
+// the end-to-end time — every CPU access performed and every buffered
+// write retired to memory — and CPUStallCycles is the time the processor
+// spent blocked on an empty read FIFO or a full write FIFO.
+type Result = engine.Result
 
 // Run simulates kernel k through an SMC over the device. Device memory is
 // read and written functionally, so callers can verify the results.
@@ -111,7 +94,7 @@ func Run(dev *rdram.Device, k *stream.Kernel, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	walker, err := cpu.NewWalker(k)
+	fe, err := engine.NewFrontEnd(k, int64(dev.Config().Timing.TPack/rdram.WordsPerPacket))
 	if err != nil {
 		return Result{}, err
 	}
@@ -120,15 +103,13 @@ func Run(dev *rdram.Device, k *stream.Kernel, cfg Config) (Result, error) {
 		dev:    dev,
 		mapper: mapper,
 		cfg:    cfg,
-		walker: walker,
+		fe:     fe,
 		k:      k,
 		nr:     k.ReadStreams(),
-		xfer:   int64(dev.Config().Timing.TPack / rdram.WordsPerPacket),
 	}
 	if col := cfg.Telemetry; col != nil {
-		dev.Telemetry = col.Device
+		s.ctl = engine.Attach(dev, col, telemetry.StallNoRequest)
 		s.col = col
-		s.ctl = col.Controller
 		s.dprobe = col.Device
 		s.fprobes = make([]*telemetry.FIFOProbe, len(k.Streams))
 		for i, st := range k.Streams {
@@ -153,25 +134,15 @@ func Run(dev *rdram.Device, k *stream.Kernel, cfg Config) (Result, error) {
 
 	st := dev.Stats()
 	res := Result{
-		Cycles:           max64(s.cpuTime, st.LastDataEnd),
+		Cycles:           max(s.fe.Time(), st.LastDataEnd),
 		UsefulWords:      int64(k.Iterations()) * int64(len(k.Streams)),
 		TransferredWords: st.PacketCount() * rdram.WordsPerPacket,
-		CPUStallCycles:   s.cpuStall,
+		CPUStallCycles:   s.fe.StallCycles(),
 		Device:           st,
 	}
-	if res.Cycles > 0 {
-		peak := dev.Config().Timing.CyclesPerWordPeak()
-		res.PercentPeak = 100 * float64(res.UsefulWords) * peak / float64(res.Cycles)
-		res.PercentAttainable = res.PercentPeak
-		if res.TransferredWords > 0 {
-			frac := float64(res.UsefulWords) / float64(res.TransferredWords)
-			if frac < 1 {
-				res.PercentAttainable = res.PercentPeak / frac
-			}
-		}
-	}
+	res.Finalize(dev.Config().Timing.CyclesPerWordPeak())
 	if col := cfg.Telemetry; col != nil {
-		col.Controller.CPUStallCycles = s.cpuStall
+		col.Controller.CPUStallCycles = s.fe.StallCycles()
 		// The run extends past the final DATA packet while the CPU drains
 		// the last FIFO contents; charge that tail so the stall attribution
 		// tiles the full [0, Cycles) idle time.
@@ -186,16 +157,13 @@ type sim struct {
 	cfg    Config
 	k      *stream.Kernel
 	nr     int
-	xfer   int64 // CPU cycles per element at matched bandwidth
 
 	reads  []*readFIFO
 	writes []*writeFIFO
 
-	walker   *cpu.Walker
-	pending  *cpu.Access
-	cpuTime  int64
-	cpuStall int64
-	cpuDone  bool
+	// fe is the shared matched-bandwidth processor model; this sim
+	// implements engine.Ports over its FIFOs.
+	fe *engine.FrontEnd
 
 	msuTime int64
 	current int // round-robin cursor over all FIFOs (reads then writes)
@@ -207,18 +175,11 @@ type sim struct {
 	fprobes []*telemetry.FIFOProbe
 }
 
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // run drives the CPU and MSU to completion.
 func (s *sim) run() error {
 	for {
-		s.cpuAdvance(s.msuTime)
-		if s.cpuDone && !s.msuHasWork() {
+		s.fe.Advance(s.msuTime, s)
+		if s.fe.Done() && !s.msuHasWork() {
 			return nil
 		}
 		if s.issueOne() {
@@ -226,9 +187,9 @@ func (s *sim) run() error {
 		}
 		// Nothing issuable at msuTime: jump to the next CPU event, which
 		// is the only thing that can change FIFO occupancy.
-		t := s.cpuNextEvent()
-		if t == unscheduled || t <= s.msuTime {
-			if s.cpuDone && !s.msuHasWork() {
+		t := s.fe.NextEvent(s)
+		if t == engine.Unscheduled || t <= s.msuTime {
+			if s.fe.Done() && !s.msuHasWork() {
 				return nil
 			}
 			return fmt.Errorf("smc: stalled at cycle %d with work remaining (MSU idle, CPU blocked)", s.msuTime)
@@ -237,6 +198,32 @@ func (s *sim) run() error {
 			s.noteBlocked(s.msuTime, t)
 		}
 		s.msuTime = t
+	}
+}
+
+// ReadAvail, WriteFree, PopRead, and PushWrite implement engine.Ports: the
+// FIFO heads the front-end drains and fills at matched bandwidth.
+
+func (s *sim) ReadAvail(i int) int64 { return s.reads[i].headAvail() }
+
+func (s *sim) WriteFree(i int) int64 { return s.writes[i-s.nr].slotFreeAt() }
+
+func (s *sim) PopRead(i int, done int64) uint64 {
+	f := s.reads[i]
+	v := f.values[f.popped]
+	f.popped++
+	if s.fprobes != nil {
+		s.fprobes[i].OnDepth(done, f.issued-f.popped)
+	}
+	return v
+}
+
+func (s *sim) PushWrite(i int, v uint64, done int64) {
+	f := s.writes[i-s.nr]
+	f.pushedAt = append(f.pushedAt, done)
+	f.values = append(f.values, v)
+	if s.fprobes != nil {
+		s.fprobes[i].OnDepth(done, len(f.pushedAt)-len(f.drainAt))
 	}
 }
 
@@ -292,7 +279,7 @@ func (s *sim) canService(i int) (bool, int64) {
 	if !f.canDrain() {
 		return false, 0
 	}
-	return true, max64(s.msuTime, f.drainReady())
+	return true, max(s.msuTime, f.drainReady())
 }
 
 // issueOne lets the scheduling policy pick a FIFO and issues one packet
@@ -405,13 +392,13 @@ func (s *sim) issue(i int) {
 	if i >= s.nr {
 		f := s.writes[i-s.nr]
 		req.Write = true
-		at = max64(at, f.drainReady())
+		at = max(at, f.drainReady())
 		// Assemble the packet: pushed values where the stream stores,
 		// current memory contents elsewhere (partial packets at stream
 		// edges or non-unit strides).
 		base := s.mapper.Unmap(addrmap.Loc{Bank: g.loc.Bank, Row: g.loc.Row, Col: g.loc.Col})
 		for w := 0; w < rdram.WordsPerPacket; w++ {
-			req.Data[w] = s.peek(base + int64(w))
+			req.Data[w] = engine.Peek(s.dev, s.mapper, base+int64(w))
 		}
 		for j, e := range g.elems {
 			req.Data[g.words[j]] = f.values[e]
@@ -469,87 +456,4 @@ func (s *sim) issue(i int) {
 		next != nil && !g.sameRowAs(*next) {
 		s.dev.ActivateBank(next.loc.Bank, next.loc.Row, s.msuTime)
 	}
-}
-
-// cpuAdvance processes the processor's natural-order accesses whose
-// completion does not exceed limit.
-func (s *sim) cpuAdvance(limit int64) {
-	for {
-		if s.pending == nil {
-			a, ok := s.walker.Next()
-			if !ok {
-				s.cpuDone = true
-				return
-			}
-			s.pending = &a
-		}
-		a := s.pending
-		var start int64
-		if a.Write {
-			f := s.writes[a.Stream-s.nr]
-			free := f.slotFreeAt()
-			if free == unscheduled {
-				return // blocked until the MSU drains
-			}
-			start = max64(s.cpuTime, free)
-		} else {
-			f := s.reads[a.Stream]
-			avail := f.headAvail()
-			if avail == unscheduled {
-				return // blocked until the MSU fetches
-			}
-			start = max64(s.cpuTime, avail)
-		}
-		done := start + s.xfer
-		if done > limit {
-			return
-		}
-		s.cpuStall += start - s.cpuTime
-		s.cpuTime = done
-		if a.Write {
-			f := s.writes[a.Stream-s.nr]
-			f.pushedAt = append(f.pushedAt, done)
-			f.values = append(f.values, a.Value)
-			if s.fprobes != nil {
-				s.fprobes[a.Stream].OnDepth(done, len(f.pushedAt)-len(f.drainAt))
-			}
-		} else {
-			f := s.reads[a.Stream]
-			s.walker.SupplyRead(f.values[f.popped])
-			f.popped++
-			if s.fprobes != nil {
-				s.fprobes[a.Stream].OnDepth(done, f.issued-f.popped)
-			}
-		}
-		s.pending = nil
-	}
-}
-
-// cpuNextEvent returns the completion time of the CPU's next access, if it
-// is schedulable, or unscheduled if the CPU is waiting on the MSU.
-func (s *sim) cpuNextEvent() int64 {
-	if s.pending == nil {
-		if s.cpuDone {
-			return unscheduled
-		}
-		// cpuAdvance always leaves a pending access unless done.
-		return unscheduled
-	}
-	a := s.pending
-	var wait int64
-	if a.Write {
-		wait = s.writes[a.Stream-s.nr].slotFreeAt()
-	} else {
-		wait = s.reads[a.Stream].headAvail()
-	}
-	if wait == unscheduled {
-		return unscheduled
-	}
-	return max64(s.cpuTime, wait) + s.xfer
-}
-
-// peek reads device storage without timing.
-func (s *sim) peek(addr int64) uint64 {
-	loc := s.mapper.Map(addr)
-	return s.dev.PeekWord(loc.Bank, loc.Row, loc.Col, loc.Word)
 }

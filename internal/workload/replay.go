@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"rdramstream/internal/addrmap"
+	"rdramstream/internal/engine"
 	"rdramstream/internal/rdram"
 )
 
@@ -80,7 +81,7 @@ func Replay(dev *rdram.Device, cfg Config, accs []TraceAccess) (Result, error) {
 	autoPre := cfg.Scheme == addrmap.CLI
 	capacity := mapper.CapacityWords()
 
-	var inflight []int64
+	window := engine.NewWindow(outstanding)
 	var lines int64
 	lastLine := int64(-1)
 	for i, a := range accs {
@@ -93,10 +94,7 @@ func Replay(dev *rdram.Device, cfg Config, accs []TraceAccess) (Result, error) {
 		}
 		lastLine = line
 		lines++
-		at := int64(0)
-		if len(inflight) >= outstanding {
-			at = inflight[len(inflight)-outstanding]
-		}
+		at := window.Admit(0)
 		base := line * int64(cfg.LineWords)
 		var complete int64
 		for p := 0; p < packets; p++ {
@@ -108,14 +106,11 @@ func Replay(dev *rdram.Device, cfg Config, accs []TraceAccess) (Result, error) {
 			})
 			complete = res.DataEnd
 		}
-		inflight = append(inflight, complete)
+		window.Complete(complete)
 	}
 
 	st := dev.Stats()
 	res := Result{Cycles: st.LastDataEnd, Lines: lines, HitRate: st.HitRate(), Device: st}
-	if res.Cycles > 0 {
-		words := st.PacketCount() * rdram.WordsPerPacket
-		res.PercentPeak = 100 * float64(words) * dev.Config().Timing.CyclesPerWordPeak() / float64(res.Cycles)
-	}
+	res.PercentPeak = engine.PercentOfPeak(st.PacketCount()*rdram.WordsPerPacket, res.Cycles, dev.Config().Timing.CyclesPerWordPeak())
 	return res, nil
 }

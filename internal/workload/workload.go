@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"rdramstream/internal/addrmap"
+	"rdramstream/internal/engine"
 	"rdramstream/internal/rdram"
 )
 
@@ -123,14 +124,11 @@ func Run(dev *rdram.Device, cfg Config) (Result, error) {
 
 	packets := cfg.LineWords / rdram.WordsPerPacket
 	autoPre := cfg.Scheme == addrmap.CLI
-	var inflight []int64
+	window := engine.NewWindow(outstanding)
 	for i := 0; i < cfg.Requests; i++ {
 		line := nextLine(i)
 		write := rng.Float64() >= cfg.ReadFraction
-		at := int64(0)
-		if len(inflight) >= outstanding {
-			at = inflight[len(inflight)-outstanding]
-		}
+		at := window.Admit(0)
 		base := line * int64(cfg.LineWords)
 		var complete int64
 		for p := 0; p < packets; p++ {
@@ -142,7 +140,7 @@ func Run(dev *rdram.Device, cfg Config) (Result, error) {
 			})
 			complete = res.DataEnd
 		}
-		inflight = append(inflight, complete)
+		window.Complete(complete)
 	}
 
 	st := dev.Stats()
@@ -152,9 +150,6 @@ func Run(dev *rdram.Device, cfg Config) (Result, error) {
 		HitRate: st.HitRate(),
 		Device:  st,
 	}
-	if res.Cycles > 0 {
-		words := st.PacketCount() * rdram.WordsPerPacket
-		res.PercentPeak = 100 * float64(words) * dev.Config().Timing.CyclesPerWordPeak() / float64(res.Cycles)
-	}
+	res.PercentPeak = engine.PercentOfPeak(st.PacketCount()*rdram.WordsPerPacket, res.Cycles, dev.Config().Timing.CyclesPerWordPeak())
 	return res, nil
 }

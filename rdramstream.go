@@ -116,6 +116,17 @@ func Simulate(sc Scenario) (Outcome, error) { return sim.Run(sc) }
 // LayoutVectors (or any non-overlapping page-aligned layout of your own).
 func SimulateKernel(k *Kernel, sc Scenario) (Outcome, error) { return sim.RunKernel(k, sc) }
 
+// SimulateAll runs the scenarios on a bounded worker pool (workers <= 0
+// uses GOMAXPROCS) and returns the outcomes in scenario order. Results are
+// identical to running each scenario serially — parallelism is purely a
+// wall-clock optimization.
+func SimulateAll(scs []Scenario, workers int) ([]Outcome, error) { return sim.RunAll(scs, workers) }
+
+// Controllers lists the names accepted by Scenario.Controller: the
+// registered access-ordering policies, including any added through the
+// engine registry extension point.
+func Controllers() []string { return sim.Controllers() }
+
 // Kernels lists the built-in benchmark kernel names.
 func Kernels() []string {
 	names := make([]string, len(stream.Benchmarks))
