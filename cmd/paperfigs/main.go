@@ -131,6 +131,7 @@ func main() {
 			"crisp_efficiency":        experiments.CrispEfficiency,
 			"prior_fpm_system":        experiments.PriorSystem,
 			"policy_cross":            experiments.PolicyCross,
+			"fault_degradation":       func() (*experiments.Table, error) { return experiments.FaultSweep(42, nil) },
 		} {
 			t, err := gen()
 			if err != nil {

@@ -64,13 +64,9 @@ func main() {
 		Seed:              *seed,
 		Device:            rdramstream.DefaultDevice(),
 	}
-	switch strings.ToLower(*scheme) {
-	case "cli":
-		sc.Scheme = rdramstream.CLI
-	case "pi":
-		sc.Scheme = rdramstream.PI
-	default:
-		fatalf("unknown scheme %q (want cli or pi)", *scheme)
+	var err error
+	if sc.Scheme, err = rdramstream.ParseInterleave(*scheme); err != nil {
+		fatalf("%v", err)
 	}
 	switch strings.ToLower(*mode) {
 	case "smc":

@@ -37,6 +37,8 @@ func main() {
 	speculate := flag.Bool("speculate", false, "enable speculative page activation (SMC, PI)")
 	writeAlloc := flag.Bool("writealloc", false, "natural-order: fetch store-missed lines and write back on eviction")
 	refresh := flag.Int64("refresh", 0, "inject a refresh every N cycles (0 = off, as the paper assumes)")
+	faultSeverity := flag.Int("fault-severity", 0, "deterministic fault-injection severity (0 = off)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (with -fault-severity)")
 	devices := flag.Int("devices", 1, "RDRAM chips on the channel (banks scale with it)")
 	cacheWords := flag.Int("cache", 0, "natural-order: put a real cache of this many 64-bit words in front (0 = paper's ideal line buffers)")
 	cacheWays := flag.Int("cacheways", 1, "associativity of the -cache model")
@@ -67,13 +69,14 @@ func main() {
 		sc.Cache = &rdramstream.CacheConfig{SizeWords: *cacheWords, LineWords: 4, Ways: *cacheWays}
 	}
 
-	switch strings.ToLower(*scheme) {
-	case "cli":
-		sc.Scheme = rdramstream.CLI
-	case "pi":
-		sc.Scheme = rdramstream.PI
-	default:
-		fatalf("unknown scheme %q (want cli or pi)", *scheme)
+	if *faultSeverity > 0 {
+		fc := rdramstream.ScaledFaults(*faultSeed, *faultSeverity)
+		sc.Fault = &fc
+	}
+
+	var err error
+	if sc.Scheme, err = rdramstream.ParseInterleave(*scheme); err != nil {
+		fatalf("%v", err)
 	}
 	switch strings.ToLower(*mode) {
 	case "smc":

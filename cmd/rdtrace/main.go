@@ -34,9 +34,10 @@ func main() {
 	traceFile := flag.String("tracefile", "", "replay a word-address trace file (lines of \"R|W <addr>\") instead of a kernel")
 	flag.Parse()
 
-	scheme := addrmap.CLI
-	if strings.EqualFold(*schemeF, "pi") {
-		scheme = addrmap.PI
+	scheme, err := addrmap.ParseScheme(*schemeF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdtrace: %v\n", err)
+		os.Exit(1)
 	}
 	cfg := rdram.DefaultConfig()
 	dev := rdram.NewDevice(cfg)

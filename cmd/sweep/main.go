@@ -8,6 +8,7 @@
 //	sweep -var stride -kernel vaxpy -mode natural  # stride sweep
 //	sweep -var banks -kernel daxpy -mode smc       # bank-count sweep
 //	sweep -var length -kernel copy -mode smc       # vector-length sweep
+//	sweep -faults 42,1,2,4,8 -kernel daxpy         # fault-degradation sweep
 //	sweep -parallel 1                              # force a serial run
 //	sweep -bench-out BENCH_parallel_sweep.json     # time serial vs parallel
 package main
@@ -18,10 +19,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"rdramstream"
+	"rdramstream/internal/experiments"
 )
 
 func main() {
@@ -31,8 +34,14 @@ func main() {
 	mode := flag.String("mode", "smc", "controller: smc or natural")
 	fifo := flag.Int("fifo", 32, "FIFO depth (fixed unless -var fifo)")
 	parallel := flag.Int("parallel", 0, "worker count for the sweep (0 = GOMAXPROCS, 1 = serial)")
+	faults := flag.String("faults", "", `fault-degradation sweep "seed,severity[,severity...]": every controller and scheme under deterministic fault injection (overrides -var)`)
 	benchOut := flag.String("bench-out", "", "time the sweep serial vs parallel and write a JSON report to this file")
 	flag.Parse()
+
+	if *faults != "" {
+		faultSweep(*faults, *kernel, *n, *parallel)
+		return
+	}
 
 	base := rdramstream.Scenario{
 		KernelName: *kernel,
@@ -119,6 +128,43 @@ func main() {
 	}
 	csv, _ := render(*parallel)
 	fmt.Print(csv)
+}
+
+// faultSweep parses "seed,severity[,severity...]" and emits the fault
+// degradation of every controller × scheme as CSV. The same seed always
+// yields byte-identical output, at any worker count — CI diffs two runs to
+// hold that guarantee.
+func faultSweep(spec, kernel string, n, workers int) {
+	fields := strings.Split(spec, ",")
+	if len(fields) < 2 {
+		fmt.Fprintf(os.Stderr, "sweep: -faults wants \"seed,severity[,severity...]\", got %q\n", spec)
+		os.Exit(1)
+	}
+	seed, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: -faults seed: %v\n", err)
+		os.Exit(1)
+	}
+	var severities []int
+	for _, f := range fields[1:] {
+		sev, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || sev < 0 {
+			fmt.Fprintf(os.Stderr, "sweep: -faults severity %q: want a non-negative integer\n", f)
+			os.Exit(1)
+		}
+		severities = append(severities, sev)
+	}
+	pts, err := experiments.FaultSweepPoints(kernel, n, seed, severities, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Println("severity,controller,scheme,percent_peak,percent_of_clean,cycles,rejections,jitter_cycles,refreshes,verified")
+	for _, p := range pts {
+		fmt.Printf("%d,%s,%s,%.2f,%.2f,%d,%d,%d,%d,%v\n",
+			p.Severity, p.Controller, p.SchemeName, p.PercentPeak, p.PercentOfClean,
+			p.Cycles, p.Rejections, p.JitterCycles, p.Refreshes, p.Verified)
+	}
 }
 
 // benchmark times the sweep with one worker and with four, checks the two

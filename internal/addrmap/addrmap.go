@@ -10,7 +10,9 @@
 package addrmap
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"rdramstream/internal/rdram"
 )
@@ -24,6 +26,11 @@ const (
 	PI                // page interleaving, open-page
 )
 
+// ErrUnknownScheme is returned (wrapped, with the offending value) whenever
+// a scheme outside {CLI, PI} reaches the API: ParseScheme, Validate, New.
+// CLIs match it with errors.Is and exit non-zero instead of panicking.
+var ErrUnknownScheme = errors.New("addrmap: unknown scheme")
+
 func (s Scheme) String() string {
 	switch s {
 	case CLI:
@@ -32,6 +39,27 @@ func (s Scheme) String() string {
 		return "PI"
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Validate reports whether the scheme is one of the two the paper defines.
+func (s Scheme) Validate() error {
+	if s != CLI && s != PI {
+		return fmt.Errorf("%w %d (want CLI or PI)", ErrUnknownScheme, int(s))
+	}
+	return nil
+}
+
+// ParseScheme resolves a scheme name (case-insensitive "CLI" or "PI") —
+// the single flag-parsing path both CLIs use.
+func ParseScheme(name string) (Scheme, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "CLI":
+		return CLI, nil
+	case "PI":
+		return PI, nil
+	default:
+		return 0, fmt.Errorf("%w %q (want CLI or PI)", ErrUnknownScheme, name)
 	}
 }
 
@@ -60,8 +88,8 @@ func New(scheme Scheme, g rdram.Geometry, lineWords int) (*Mapper, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	if scheme != CLI && scheme != PI {
-		return nil, fmt.Errorf("addrmap: unknown scheme %d", int(scheme))
+	if err := scheme.Validate(); err != nil {
+		return nil, err
 	}
 	if lineWords <= 0 || lineWords%rdram.WordsPerPacket != 0 {
 		return nil, fmt.Errorf("addrmap: lineWords must be a positive multiple of %d, got %d", rdram.WordsPerPacket, lineWords)
@@ -132,21 +160,19 @@ func (m *Mapper) Map(addr int64) Loc {
 	return loc
 }
 
-// Unmap is the inverse of Map.
+// Unmap is the inverse of Map. New rejects schemes outside {CLI, PI}, so
+// every constructed mapper takes one of these branches.
 func (m *Mapper) Unmap(loc Loc) int64 {
 	inPage := loc.Col*rdram.WordsPerPacket + loc.Word
-	switch m.scheme {
-	case CLI:
-		lineInPage := inPage / m.lineWords
-		inLine := inPage % m.lineWords
-		bankLine := int64(loc.Row)*int64(m.linesPerPage) + int64(lineInPage)
-		line := bankLine*int64(m.banks) + int64(loc.Bank)
-		return line*int64(m.lineWords) + int64(inLine)
-	case PI:
+	if m.scheme == PI {
 		page := int64(loc.Row)*int64(m.banks) + int64(loc.Bank)
 		return page*int64(m.pageWords) + int64(inPage)
 	}
-	panic("addrmap: unknown scheme")
+	lineInPage := inPage / m.lineWords
+	inLine := inPage % m.lineWords
+	bankLine := int64(loc.Row)*int64(m.linesPerPage) + int64(lineInPage)
+	line := bankLine*int64(m.banks) + int64(loc.Bank)
+	return line*int64(m.lineWords) + int64(inLine)
 }
 
 // PacketAddr returns the word address of the first word in addr's packet.

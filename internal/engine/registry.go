@@ -37,6 +37,11 @@ type Options struct {
 	Outstanding int
 	// Telemetry, when non-nil, instruments the run (see Attach).
 	Telemetry *telemetry.Collector
+	// WatchdogLimit is the forward-progress bound, in cycles: a controller
+	// loop that retires no useful word for this long aborts with a
+	// *WatchdogError instead of spinning. Zero means DefaultWatchdogLimit;
+	// only fault-injected devices can normally trip it.
+	WatchdogLimit int64
 }
 
 // Controller is one access-ordering policy: it drives a kernel's accesses

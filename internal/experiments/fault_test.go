@@ -1,0 +1,60 @@
+package experiments
+
+import "testing"
+
+func TestFaultSweepPoints(t *testing.T) {
+	pts, err := FaultSweepPoints("daxpy", 256, 42, []int{2, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSev := len(FaultControllers) * 2
+	if len(pts) != 3*perSev { // clean baseline + two severities
+		t.Fatalf("points = %d, want %d", len(pts), 3*perSev)
+	}
+	for i, p := range pts {
+		if !p.Verified {
+			t.Errorf("point %d (%+v): not verified — faults corrupted data", i, p)
+		}
+		if p.Severity == 0 {
+			if p.PercentOfClean != 100 || p.Rejections != 0 || p.JitterCycles != 0 {
+				t.Errorf("clean baseline %d carries fault artifacts: %+v", i, p)
+			}
+			continue
+		}
+		if p.PercentOfClean <= 0 || p.PercentOfClean > 100 {
+			t.Errorf("point %d: percent-of-clean %.2f out of range", i, p.PercentOfClean)
+		}
+		if p.Rejections == 0 && p.JitterCycles == 0 {
+			t.Errorf("point %d: severity %d injected nothing", i, p.Severity)
+		}
+	}
+	// Degradation should deepen with severity for each configuration.
+	for i := perSev; i < 2*perSev; i++ {
+		if pts[i+perSev].PercentOfClean > pts[i].PercentOfClean+1 {
+			t.Errorf("%s/%s: severity %d (%.1f%%) degrades less than severity %d (%.1f%%)",
+				pts[i].Controller, pts[i].SchemeName,
+				pts[i+perSev].Severity, pts[i+perSev].PercentOfClean,
+				pts[i].Severity, pts[i].PercentOfClean)
+		}
+	}
+}
+
+func TestFaultSweepTable(t *testing.T) {
+	tab, err := FaultSweep(7, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row %v does not match header %v", row, tab.Header)
+		}
+		for _, c := range row[1:] {
+			if v := cell(t, c); v <= 0 || v > 100 {
+				t.Errorf("out-of-range percent-of-clean %v in %v", v, row)
+			}
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package fault implements deterministic, seed-driven fault injection for
+// the RDRAM device model. It is the single implementation of the
+// rdram.FaultInjector contract, and the knob behind experiments.FaultSweep:
+// "how gracefully does each controller degrade when the device misbehaves?"
+//
+// Three fault classes are modelled, each individually zeroable:
+//
+//   - refresh storms: the gap between scheduled refreshes periodically
+//     collapses to StormGap for StormBurst refreshes, mimicking a controller
+//     catching up on deferred refresh debt;
+//   - per-bank latency jitter: bounded additive cycles on t_RCD, t_CAC and
+//     t_RP, with a per-bank amplitude profile so some banks are consistently
+//     "slower" than others (process variation, per-bank thermal throttling);
+//   - transient rejections: an access is refused with probability RejectProb
+//     and must be re-presented by the controller after backoff.
+//
+// Determinism: an Injector is driven by a single rand.Rand seeded from
+// Config.Seed and is consulted by the device in simulation order from one
+// goroutine. The same Config therefore yields the same fault sequence every
+// run. Sweeps that execute scenarios in parallel give each scenario its own
+// Injector, so worker count never changes any scenario's faults. A Config
+// whose fault terms are all zero is invisible: runs are bit-identical to
+// runs with no injector attached.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"rdramstream/internal/rdram"
+)
+
+// Config describes one fault-injection regime. The zero value is valid and
+// injects nothing.
+type Config struct {
+	// Seed drives every random draw. Two runs with equal Configs produce
+	// identical fault sequences.
+	Seed int64
+
+	// RejectProb is the probability in [0,1] that any presented access is
+	// transiently rejected and must be retried by the controller.
+	RejectProb float64
+
+	// MaxJitter is the upper bound, in bus cycles, of the additive latency
+	// drawn per access on each of t_RCD, t_CAC and t_RP. The draw is
+	// uniform in [0, amp] where amp is MaxJitter scaled by the bank's
+	// amplitude profile, so MaxJitter = 0 disables jitter entirely.
+	MaxJitter int64
+
+	// StormEvery is the refresh-storm period: after every StormEvery
+	// normally-spaced refreshes, a burst begins. Zero disables storms.
+	StormEvery int64
+
+	// StormBurst is the number of refreshes in a storm burst (default 4
+	// when storms are enabled).
+	StormBurst int64
+
+	// StormGap is the inter-refresh gap, in cycles, during a burst
+	// (default: tRC-bound minimum spacing is the device's problem; we use
+	// 64 cycles, a near-back-to-back cadence).
+	StormGap int64
+
+	// RefreshBase, when non-zero, is the nominal refresh interval the
+	// device should run at if its own RefreshInterval is zero (refresh
+	// disabled). Storms are meaningless on a device that never refreshes,
+	// so sweeps use this to arm refresh before injecting storms.
+	RefreshBase int64
+}
+
+// Typed validation errors, comparable with errors.Is.
+var (
+	ErrRejectProb = errors.New("fault: RejectProb outside [0,1]")
+	ErrNegative   = errors.New("fault: negative field")
+	ErrStormShape = errors.New("fault: storm burst/gap set without StormEvery")
+)
+
+// Validate reports whether the config is usable. The zero Config is valid.
+func (c Config) Validate() error {
+	if c.RejectProb < 0 || c.RejectProb > 1 {
+		return fmt.Errorf("%w: %v", ErrRejectProb, c.RejectProb)
+	}
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"MaxJitter", c.MaxJitter},
+		{"StormEvery", c.StormEvery},
+		{"StormBurst", c.StormBurst},
+		{"StormGap", c.StormGap},
+		{"RefreshBase", c.RefreshBase},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("%w: %s = %d", ErrNegative, f.name, f.v)
+		}
+	}
+	if c.StormEvery == 0 && (c.StormBurst > 0 || c.StormGap > 0) {
+		return fmt.Errorf("%w (burst=%d gap=%d)", ErrStormShape, c.StormBurst, c.StormGap)
+	}
+	return nil
+}
+
+// Active reports whether the config injects any fault at all. Inactive
+// configs should not be attached: a nil injector is cheaper and provably
+// identical.
+func (c Config) Active() bool {
+	return c.RejectProb > 0 || c.MaxJitter > 0 || c.StormEvery > 0
+}
+
+// Scaled builds the canonical severity ladder used by experiments.FaultSweep:
+// severity 0 is inactive (bit-identical to no faults), and each unit of
+// severity adds a little of every fault class. The mapping is fixed so
+// degradation curves are comparable across controllers and papers over time.
+func Scaled(seed int64, severity int) Config {
+	if severity <= 0 {
+		return Config{Seed: seed}
+	}
+	s := int64(severity)
+	return Config{
+		Seed:        seed,
+		RejectProb:  min(0.02*float64(severity), 0.5),
+		MaxJitter:   4 * s,
+		StormEvery:  8,
+		StormBurst:  2 + s,
+		StormGap:    64,
+		RefreshBase: 2048,
+	}
+}
+
+// Injector implements rdram.FaultInjector for one simulation. Not safe for
+// concurrent use; give each parallel scenario its own instance.
+type Injector struct {
+	cfg Config
+	rng *rand.Rand
+
+	bankAmp []float64 // per-bank jitter amplitude scale in [0,1]
+
+	// storm state machine
+	sinceStorm int64 // normally-spaced refreshes since last burst end
+	burstLeft  int64 // refreshes remaining in the current burst
+}
+
+var _ rdram.FaultInjector = (*Injector)(nil)
+
+// New builds an injector for cfg over a device with banks banks. It returns
+// an error if cfg fails Validate, and nil (no injector needed) if cfg is
+// inactive.
+func New(cfg Config, banks int) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Active() {
+		return nil, nil
+	}
+	if banks <= 0 {
+		return nil, fmt.Errorf("%w: banks = %d", ErrNegative, banks)
+	}
+	if cfg.StormEvery > 0 {
+		if cfg.StormBurst == 0 {
+			cfg.StormBurst = 4
+		}
+		if cfg.StormGap == 0 {
+			cfg.StormGap = 64
+		}
+	}
+	inj := &Injector{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	// The per-bank amplitude profile is drawn up front so it depends only
+	// on (Seed, banks), not on the access sequence.
+	inj.bankAmp = make([]float64, banks)
+	for b := range inj.bankAmp {
+		inj.bankAmp[b] = inj.rng.Float64()
+	}
+	return inj, nil
+}
+
+// OnAccess draws this access's fault. Exactly four rng draws happen per call
+// (one reject draw, three jitter draws) regardless of config, so the random
+// stream — and hence every later fault — does not depend on which fault
+// classes are enabled. A nil receiver injects nothing, so a typed-nil
+// *Injector stored in the device's interface field is harmless.
+func (in *Injector) OnAccess(at int64, bank int, write bool) rdram.AccessFault {
+	if in == nil {
+		return rdram.AccessFault{}
+	}
+	reject := in.rng.Float64()
+	j1, j2, j3 := in.rng.Float64(), in.rng.Float64(), in.rng.Float64()
+	var f rdram.AccessFault
+	if in.cfg.RejectProb > 0 && reject < in.cfg.RejectProb {
+		f.Reject = true
+		return f
+	}
+	if in.cfg.MaxJitter > 0 {
+		amp := float64(in.cfg.MaxJitter) * in.bankAmp[bank%len(in.bankAmp)]
+		f.RCDExtra = int64(j1 * (amp + 1))
+		f.CACExtra = int64(j2 * (amp + 1))
+		f.RPExtra = int64(j3 * (amp + 1))
+	}
+	return f
+}
+
+// RefreshGap advances the storm state machine and returns the gap to the
+// next refresh. Outside a burst (or on a nil receiver) it returns base
+// unchanged.
+func (in *Injector) RefreshGap(base int64) int64 {
+	if in == nil || in.cfg.StormEvery == 0 {
+		return base
+	}
+	if in.burstLeft > 0 {
+		in.burstLeft--
+		return in.cfg.StormGap
+	}
+	in.sinceStorm++
+	if in.sinceStorm >= in.cfg.StormEvery {
+		in.sinceStorm = 0
+		in.burstLeft = in.cfg.StormBurst
+	}
+	return base
+}

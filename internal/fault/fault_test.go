@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"rdramstream/internal/rdram"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want error
+	}{
+		{"zero", Config{}, nil},
+		{"full", Config{Seed: 1, RejectProb: 0.1, MaxJitter: 8, StormEvery: 4, StormBurst: 2, StormGap: 64}, nil},
+		{"prob-high", Config{RejectProb: 1.5}, ErrRejectProb},
+		{"prob-neg", Config{RejectProb: -0.1}, ErrRejectProb},
+		{"neg-jitter", Config{MaxJitter: -1}, ErrNegative},
+		{"neg-base", Config{RefreshBase: -5}, ErrNegative},
+		{"storm-shape", Config{StormBurst: 3}, ErrStormShape},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: Validate() = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestNewInactive(t *testing.T) {
+	inj, err := New(Config{Seed: 7}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj != nil {
+		t.Fatal("inactive config produced an injector")
+	}
+	if Scaled(99, 0).Active() {
+		t.Error("Scaled(seed, 0) must be inactive")
+	}
+	if !Scaled(99, 1).Active() {
+		t.Error("Scaled(seed, 1) must be active")
+	}
+	if err := Scaled(99, 25).Validate(); err != nil {
+		t.Errorf("Scaled(seed, 25) invalid: %v", err)
+	}
+}
+
+// TestDeterminism: two injectors with equal configs produce identical fault
+// sequences for identical call sequences.
+func TestDeterminism(t *testing.T) {
+	cfg := Scaled(42, 3)
+	a, err := New(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		fa := a.OnAccess(int64(i*4), i%16, i%3 == 0)
+		fb := b.OnAccess(int64(i*4), i%16, i%3 == 0)
+		if fa != fb {
+			t.Fatalf("access %d: %+v != %+v", i, fa, fb)
+		}
+		if ga, gb := a.RefreshGap(2048), b.RefreshGap(2048); ga != gb {
+			t.Fatalf("refresh %d: gap %d != %d", i, ga, gb)
+		}
+	}
+}
+
+// TestFaultClasses checks each class actually fires at a plausible rate and
+// stays within its bounds.
+func TestFaultClasses(t *testing.T) {
+	cfg := Config{Seed: 5, RejectProb: 0.25, MaxJitter: 10, StormEvery: 4, StormBurst: 3, StormGap: 32}
+	inj, err := New(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rejects, jittered int
+	for i := 0; i < 10000; i++ {
+		f := inj.OnAccess(int64(i), i%8, false)
+		if f.Reject {
+			rejects++
+			if f.RCDExtra != 0 || f.CACExtra != 0 || f.RPExtra != 0 {
+				t.Fatal("rejected access also carries jitter")
+			}
+			continue
+		}
+		if f.RCDExtra < 0 || f.RCDExtra > cfg.MaxJitter ||
+			f.CACExtra < 0 || f.CACExtra > cfg.MaxJitter ||
+			f.RPExtra < 0 || f.RPExtra > cfg.MaxJitter {
+			t.Fatalf("jitter out of bounds: %+v", f)
+		}
+		if f.RCDExtra > 0 || f.CACExtra > 0 || f.RPExtra > 0 {
+			jittered++
+		}
+	}
+	if rejects < 2000 || rejects > 3000 {
+		t.Errorf("rejects = %d over 10000 draws at p=0.25", rejects)
+	}
+	if jittered == 0 {
+		t.Error("no jitter ever drawn with MaxJitter=10")
+	}
+
+	// Storm state machine: 4 normal gaps, then 3 stormed, repeating.
+	var gaps []int64
+	for i := 0; i < 14; i++ {
+		gaps = append(gaps, inj.RefreshGap(1000))
+	}
+	want := []int64{1000, 1000, 1000, 1000, 32, 32, 32, 1000, 1000, 1000, 1000, 32, 32, 32}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gap[%d] = %d, want %d (gaps=%v)", i, gaps[i], want[i], gaps)
+		}
+	}
+}
+
+// TestZeroSeverityInvisible: a device with a nil injector and one built from
+// Scaled(seed, 0) behave identically — New returns nil for severity 0, so
+// this is a compile-level guarantee, but assert it end to end on a device.
+func TestZeroSeverityInvisible(t *testing.T) {
+	run := func(attach bool) rdram.Stats {
+		cfg := rdram.DefaultConfig()
+		dev := rdram.NewDevice(cfg)
+		if attach {
+			inj, err := New(Scaled(1, 0), cfg.Geometry.Banks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev.Faults = inj // nil: severity 0 is inactive
+		}
+		at := int64(0)
+		for i := 0; i < 200; i++ {
+			res := dev.Do(at, rdram.Request{Bank: i % 8, Row: i % 3, Col: i % 64, Write: i%2 == 1})
+			at = res.DataEnd
+		}
+		return dev.Stats()
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("severity-0 run differs from clean run:\n%v\n%v", a, b)
+	}
+}

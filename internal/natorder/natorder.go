@@ -160,9 +160,12 @@ func Run(dev *rdram.Device, k *stream.Kernel, cfg Config) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		s.runThroughCache(k, cc, storeVals)
+		err = s.runThroughCache(k, cc, storeVals)
 	} else {
-		s.run(k, storeVals)
+		err = s.run(k, storeVals)
+	}
+	if err != nil {
+		return Result{}, err
 	}
 
 	st := dev.Stats()
@@ -198,7 +201,7 @@ type streamState struct {
 	dirty     bool    // write-allocate: line has been stored to
 }
 
-func (s *sim) run(k *stream.Kernel, storeVals map[int64]uint64) {
+func (s *sim) run(k *stream.Kernel, storeVals map[int64]uint64) error {
 	autoPre := s.cfg.closedPage()
 	nr := k.ReadStreams()
 	states := make([]streamState, len(k.Streams))
@@ -225,7 +228,11 @@ func (s *sim) run(k *stream.Kernel, storeVals map[int64]uint64) {
 			line := addr / lw
 			if st.line != line {
 				st.line = line
-				st.pktStarts = s.fetchLine(line, max(s.cursor, prevDep), autoPre)
+				var err error
+				st.pktStarts, err = s.fetchLine(line, max(s.cursor, prevDep), autoPre)
+				if err != nil {
+					return err
+				}
 			}
 			pkt := int(addr%lw) / rdram.WordsPerPacket
 			if ready := st.pktStarts[pkt]; ready > iterDep {
@@ -246,12 +253,20 @@ func (s *sim) run(k *stream.Kernel, storeVals map[int64]uint64) {
 			st.line = line
 			if s.cfg.WriteAllocate {
 				if prev >= 0 && st.dirty {
-					s.writeLine(prev, s.cursor, autoPre, storeVals)
+					if err := s.writeLine(prev, s.cursor, autoPre, storeVals); err != nil {
+						return err
+					}
 				}
-				st.pktStarts = s.fetchLine(line, max(s.cursor, iterDep), autoPre)
+				var err error
+				st.pktStarts, err = s.fetchLine(line, max(s.cursor, iterDep), autoPre)
+				if err != nil {
+					return err
+				}
 				st.dirty = true
 			} else {
-				s.writeLine(line, max(s.cursor, iterDep), autoPre, storeVals)
+				if err := s.writeLine(line, max(s.cursor, iterDep), autoPre, storeVals); err != nil {
+					return err
+				}
 			}
 		}
 		prevDep = iterDep
@@ -259,15 +274,20 @@ func (s *sim) run(k *stream.Kernel, storeVals map[int64]uint64) {
 	if s.cfg.WriteAllocate {
 		for w := nr; w < len(k.Streams); w++ {
 			if st := &states[w]; st.line >= 0 && st.dirty {
-				s.writeLine(st.line, s.cursor, autoPre, storeVals)
+				if err := s.writeLine(st.line, s.cursor, autoPre, storeVals); err != nil {
+					return err
+				}
 			}
 		}
 	}
+	return nil
 }
 
 // fetchLine reads every packet of a cacheline and returns each packet's
-// DataStart (the linefill-forwarding availability times).
-func (s *sim) fetchLine(line, at int64, autoPre bool) []int64 {
+// DataStart (the linefill-forwarding availability times). Transient device
+// rejections under fault injection are retried with bounded backoff
+// (engine.Issue); exhausting the retries fails the run.
+func (s *sim) fetchLine(line, at int64, autoPre bool) ([]int64, error) {
 	reqAt := at
 	at = s.window.Admit(at)
 	packets := s.cfg.LineWords / rdram.WordsPerPacket
@@ -276,10 +296,13 @@ func (s *sim) fetchLine(line, at int64, autoPre bool) []int64 {
 	var complete int64
 	for p := 0; p < packets; p++ {
 		loc := s.mapper.Map(base + int64(p*rdram.WordsPerPacket))
-		res := s.dev.Do(at, rdram.Request{
+		res, err := engine.Issue(s.dev, at, rdram.Request{
 			Bank: loc.Bank, Row: loc.Row, Col: loc.Col,
 			AutoPrecharge: autoPre && p == packets-1,
 		})
+		if err != nil {
+			return nil, err
+		}
 		if p == 0 {
 			s.advanceCursor(res)
 			// Miss service latency as the processor sees it: request
@@ -291,13 +314,13 @@ func (s *sim) fetchLine(line, at int64, autoPre bool) []int64 {
 		complete = res.DataEnd
 	}
 	s.window.Complete(complete)
-	return starts
+	return starts, nil
 }
 
 // writeLine transmits a full cacheline of store data. Words the kernel
 // never stores keep their prior memory contents (read-merge, free of
 // charge, as in the paper's line-granularity store model).
-func (s *sim) writeLine(line, at int64, autoPre bool, storeVals map[int64]uint64) {
+func (s *sim) writeLine(line, at int64, autoPre bool, storeVals map[int64]uint64) error {
 	at = s.window.Admit(at)
 	packets := s.cfg.LineWords / rdram.WordsPerPacket
 	base := line * int64(s.cfg.LineWords)
@@ -313,17 +336,21 @@ func (s *sim) writeLine(line, at int64, autoPre bool, storeVals map[int64]uint64
 				data[w] = engine.Peek(s.dev, s.mapper, addr+int64(w))
 			}
 		}
-		res := s.dev.Do(at, rdram.Request{
+		res, err := engine.Issue(s.dev, at, rdram.Request{
 			Bank: loc.Bank, Row: loc.Row, Col: loc.Col,
 			Write: true, Data: data,
 			AutoPrecharge: autoPre && p == packets-1,
 		})
+		if err != nil {
+			return err
+		}
 		if p == 0 {
 			s.advanceCursor(res)
 		}
 		complete = res.DataEnd
 	}
 	s.window.Complete(complete)
+	return nil
 }
 
 // advanceCursor records the first command time of a transaction: the next

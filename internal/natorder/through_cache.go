@@ -12,7 +12,7 @@ import (
 // evictions of dirty lines write them back, and the computation ends with
 // a dirty-line sweep. This models the natural-order configuration with the
 // effects the paper's ideal-cache bounds exclude.
-func (s *sim) runThroughCache(k *stream.Kernel, cc *cache.Cache, storeVals map[int64]uint64) {
+func (s *sim) runThroughCache(k *stream.Kernel, cc *cache.Cache, storeVals map[int64]uint64) error {
 	autoPre := s.cfg.closedPage()
 	nr := k.ReadStreams()
 	lw := int64(s.cfg.LineWords)
@@ -37,11 +37,17 @@ func (s *sim) runThroughCache(k *stream.Kernel, cc *cache.Cache, storeVals map[i
 				if res.Evicted >= 0 {
 					if res.EvictedDirty {
 						// Victim writeback precedes the fill on the bus.
-						s.writeLine(res.Evicted, max(s.cursor, gate), autoPre, storeVals)
+						if err := s.writeLine(res.Evicted, max(s.cursor, gate), autoPre, storeVals); err != nil {
+							return err
+						}
 					}
 					delete(ready, res.Evicted)
 				}
-				ready[line] = s.fetchLine(line, max(s.cursor, gate), autoPre)
+				starts, err := s.fetchLine(line, max(s.cursor, gate), autoPre)
+				if err != nil {
+					return err
+				}
+				ready[line] = starts
 			}
 			if si < nr {
 				if starts, ok := ready[line]; ok {
@@ -56,6 +62,9 @@ func (s *sim) runThroughCache(k *stream.Kernel, cc *cache.Cache, storeVals map[i
 	}
 	// Final writeback sweep of everything still dirty.
 	for _, line := range cc.FlushDirty() {
-		s.writeLine(line, s.cursor, autoPre, storeVals)
+		if err := s.writeLine(line, s.cursor, autoPre, storeVals); err != nil {
+			return err
+		}
 	}
+	return nil
 }

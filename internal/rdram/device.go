@@ -85,6 +85,12 @@ type Device struct {
 	// cycles. Its hooks are called from the same sites that update Stats,
 	// so the two reconcile exactly. Nil costs one pointer check per hook.
 	Telemetry *telemetry.DeviceProbe
+
+	// Faults, when non-nil, perturbs the device deterministically: transient
+	// access rejections, bounded per-access timing jitter, and refresh-storm
+	// cadence overrides. Nil (the default) is the nominal device; an
+	// injector returning only zero AccessFaults is bit-identical to nil.
+	Faults FaultInjector
 }
 
 // NewDevice builds a device from cfg. It panics on an invalid
@@ -291,7 +297,16 @@ func (d *Device) maybeRefresh(at int64) {
 		b := d.refreshBank
 		d.refreshBank = (d.refreshBank + 1) % len(d.banks)
 		when := d.nextRefresh
-		d.nextRefresh += d.cfg.RefreshInterval
+		gap := d.cfg.RefreshInterval
+		if d.Faults != nil {
+			// Refresh-storm injection: the injector may compress the gap to
+			// the next refresh (a burst of back-to-back refreshes) or stretch
+			// it back out. Non-positive answers keep the nominal cadence.
+			if g := d.Faults.RefreshGap(gap); g > 0 {
+				gap = g
+			}
+		}
+		d.nextRefresh += gap
 		if d.banks[b].open {
 			pre := d.prechargeAt(b, when, true)
 			when = pre + int64(d.cfg.Timing.TRP)
@@ -308,9 +323,33 @@ func (d *Device) maybeRefresh(at int64) {
 // Do performs one packet access no earlier than cycle at and returns the
 // scheduled packet times. It resolves page misses and conflicts itself:
 // a closed bank is activated; an open bank holding the wrong row is
-// precharged and then activated.
+// precharged and then activated. Do is the fault-oblivious entry point:
+// under an injector that rejects the access it panics, so fault-aware
+// callers must use Attempt (directly or through engine.Issue's bounded
+// retry path) instead.
 func (d *Device) Do(at int64, req Request) Result {
+	res, ok := d.Attempt(at, req)
+	if !ok {
+		panic(fmt.Sprintf("rdram: access rejected under fault injection (bank=%d row=%d col=%d at=%d); use Attempt or engine.Issue on fault-injected devices", req.Bank, req.Row, req.Col, at))
+	}
+	return res
+}
+
+// Attempt performs one packet access like Do, but consults the fault
+// injector first: a rejected access returns ok=false with no device state
+// change (beyond the Stats.Rejections count), and an accepted access may
+// carry bounded additive latency on its t_RCD/t_CAC/t_RP terms. With no
+// injector attached Attempt always accepts and is exactly Do.
+func (d *Device) Attempt(at int64, req Request) (Result, bool) {
 	d.checkAddr(req.Bank, req.Row, req.Col)
+	var fault AccessFault
+	if d.Faults != nil {
+		fault = d.Faults.OnAccess(at, req.Bank, req.Write)
+		if fault.Reject {
+			d.stats.Rejections++
+			return Result{}, false
+		}
+	}
 	d.maybeRefresh(at)
 	t := &d.cfg.Timing
 	bk := &d.banks[req.Bank]
@@ -326,9 +365,11 @@ func (d *Device) Do(at int64, req Request) Result {
 		res.PageHit = true
 		d.stats.PageHits++
 	case bk.open:
-		// Page conflict: precharge, then activate the requested row.
+		// Page conflict: precharge, then activate the requested row; RPExtra
+		// jitter stretches the conflict's precharge-to-activate wait.
 		res.PreIssue = d.prechargeAt(req.Bank, at, true)
-		res.ActIssue = d.activateAt(req.Bank, req.Row, res.PreIssue+int64(t.TRP))
+		res.ActIssue = d.activateAt(req.Bank, req.Row, res.PreIssue+int64(t.TRP)+fault.RPExtra)
+		d.stats.JitterCycles += fault.RPExtra
 		d.stats.PageConflicts++
 		d.stats.PageMisses++
 	default:
@@ -336,7 +377,14 @@ func (d *Device) Do(at int64, req Request) Result {
 		d.stats.PageMisses++
 	}
 	d.Telemetry.OnAccess(req.Bank, res.PageHit, res.PreIssue >= 0)
-	earliestCol = max(earliestCol, bk.rcdReady)
+	rcdReady := bk.rcdReady
+	if res.ActIssue >= 0 && fault.RCDExtra > 0 {
+		// RCDExtra jitter delays the first column access to the freshly
+		// activated row beyond the nominal t_RCD.
+		rcdReady += fault.RCDExtra
+		d.stats.JitterCycles += fault.RCDExtra
+	}
+	earliestCol = max(earliestCol, rcdReady)
 
 	// A COL RET packet retires the write buffer between the last COL WR and
 	// the next COL RD. Its cost is already captured by the data-bus
@@ -358,11 +406,14 @@ func (d *Device) Do(at int64, req Request) Result {
 
 	// Data packet latency from the COL packet start. Reads see the page-hit
 	// latency t_CAC plus the one extra cycle that makes a page miss cost
-	// exactly t_RAC = t_RCD + t_CAC + 1 from the ACT packet.
+	// exactly t_RAC = t_RCD + t_CAC + 1 from the ACT packet. CACExtra
+	// jitter stretches the column-to-data pipeline for this access.
 	lat := int64(t.TCAC + 1)
 	if req.Write {
 		lat = int64(t.TCWD)
 	}
+	lat += fault.CACExtra
+	d.stats.JitterCycles += fault.CACExtra
 	ds := tc + lat
 	// The DATA bus is a shared pipelined resource; packets may not overlap,
 	// and a read DATA packet must trail the previous write DATA packet by
@@ -387,7 +438,7 @@ func (d *Device) Do(at int64, req Request) Result {
 	res.DataEnd = de
 
 	if d.Telemetry != nil {
-		d.attributeIdle(prevDataFree, at, trwBound, bk.rcdReady, ds, &res)
+		d.attributeIdle(prevDataFree, at, trwBound, rcdReady, ds, &res)
 		d.Telemetry.OnColumn(req.Bank, req.Write, tc, tc+int64(t.TPack))
 		d.Telemetry.OnData(req.Bank, req.Write, ds, de)
 	}
@@ -416,7 +467,7 @@ func (d *Device) Do(at int64, req Request) Result {
 	if req.AutoPrecharge {
 		d.prechargeAt(req.Bank, tc, false)
 	}
-	return res
+	return res, true
 }
 
 // attributeIdle charges every idle DATA-bus cycle in [prevFree, ds) —

@@ -1,0 +1,44 @@
+package rdram
+
+// AccessFault is the perturbation a FaultInjector applies to one presented
+// access. The zero value is "no fault": the access proceeds with nominal
+// timing, so an injector that always returns the zero value is invisible —
+// bit-identical to running with no injector at all.
+type AccessFault struct {
+	// Reject refuses the access outright: Attempt returns ok=false without
+	// touching any device or bus state, and the controller must retry later
+	// (a transient condition — a busy internal queue, a calibration cycle,
+	// an ECC scrub). Only Stats.Rejections records that it happened.
+	Reject bool
+	// RCDExtra adds cycles to t_RCD for this access (applied only when the
+	// access activates a row).
+	RCDExtra int64
+	// CACExtra adds cycles to the column-to-data latency (t_CAC for reads,
+	// t_CWD for writes) for this access.
+	CACExtra int64
+	// RPExtra adds cycles to t_RP when this access resolves a page conflict
+	// (precharge before activate).
+	RPExtra int64
+}
+
+// FaultInjector perturbs device behaviour deterministically. The device
+// consults it from exactly two single-goroutine call sites, in simulation
+// order, so a seeded injector yields reproducible fault sequences:
+//
+//   - OnAccess, once per access presented to Attempt/Do (including retried
+//     presentations of a rejected access);
+//   - RefreshGap, once per scheduled refresh, to stretch or shrink the gap
+//     to the next one (refresh storms).
+//
+// Implementations live outside this package (see internal/fault); the
+// device only defines the contract.
+type FaultInjector interface {
+	// OnAccess draws the fault, if any, for an access presented at cycle at
+	// against bank. It is called before any device state changes, so a
+	// rejection has no timing footprint.
+	OnAccess(at int64, bank int, write bool) AccessFault
+	// RefreshGap returns the interval between the refresh just scheduled
+	// and the next one. base is the configured RefreshInterval; returning
+	// base (or anything non-positive) keeps the nominal cadence.
+	RefreshGap(base int64) int64
+}

@@ -16,6 +16,8 @@ type Stats struct {
 	Refreshes     int64
 	DataBusBusy   int64 // cycles the DATA bus carried packets
 	LastDataEnd   int64 // cycle after the final DATA packet
+	Rejections    int64 // accesses refused by the fault injector
+	JitterCycles  int64 // extra latency cycles added by fault injection
 }
 
 // PacketCount is the total number of DATA packets transferred.
@@ -42,6 +44,10 @@ func (s Stats) BusUtilization() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("act=%d pre=%d rd=%d wr=%d hit=%d miss=%d conflict=%d ret=%d refresh=%d busBusy=%d lastData=%d",
+	str := fmt.Sprintf("act=%d pre=%d rd=%d wr=%d hit=%d miss=%d conflict=%d ret=%d refresh=%d busBusy=%d lastData=%d",
 		s.Activates, s.Precharges, s.Reads, s.Writes, s.PageHits, s.PageMisses, s.PageConflicts, s.Retires, s.Refreshes, s.DataBusBusy, s.LastDataEnd)
+	if s.Rejections != 0 || s.JitterCycles != 0 {
+		str += fmt.Sprintf(" reject=%d jitter=%d", s.Rejections, s.JitterCycles)
+	}
+	return str
 }

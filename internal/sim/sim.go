@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -13,6 +14,7 @@ import (
 	"rdramstream/internal/addrmap"
 	"rdramstream/internal/cache"
 	"rdramstream/internal/engine"
+	"rdramstream/internal/fault"
 	"rdramstream/internal/rdram"
 	"rdramstream/internal/smc"
 	"rdramstream/internal/stream"
@@ -80,6 +82,15 @@ type Scenario struct {
 	// Device overrides the device configuration (zero value = paper's
 	// default part).
 	Device rdram.Config
+	// Fault, when non-nil and active, attaches a deterministic fault
+	// injector to the device (see internal/fault): refresh storms, per-bank
+	// latency jitter, and transient rejections. A nil or inactive config
+	// (fault.Scaled(seed, 0)) is bit-identical to a fault-free run.
+	Fault *fault.Config
+	// WatchdogLimit bounds controller forward progress in cycles (0 =
+	// engine.DefaultWatchdogLimit): a run that retires no useful word for
+	// this long aborts with a *engine.WatchdogError instead of hanging.
+	WatchdogLimit int64
 	// Seed drives the data pattern used to initialize the vectors.
 	Seed int64
 	// SkipVerify disables the post-run functional check (for benchmarks).
@@ -115,6 +126,75 @@ func (sc Scenario) withDefaults() Scenario {
 	return sc
 }
 
+// Typed scenario-validation errors, matchable with errors.Is. Every
+// malformed scenario surfaces as one of these at the Run/RunAll boundary
+// instead of panicking inside the device or mapper.
+var (
+	ErrUnknownKernel     = errors.New("sim: unknown kernel")
+	ErrBadLength         = errors.New("sim: N must be positive")
+	ErrBadStride         = errors.New("sim: stride must be positive")
+	ErrUnknownMode       = errors.New("sim: unknown mode")
+	ErrUnknownController = errors.New("sim: unknown controller")
+	ErrBadLineWords      = errors.New("sim: bad LineWords")
+	ErrBadFIFODepth      = errors.New("sim: bad FIFODepth")
+	ErrBadWatchdog       = errors.New("sim: WatchdogLimit must be non-negative")
+)
+
+// Validate checks the scenario (after default filling) and returns a typed
+// error for the first problem found. Run, RunKernel, and BuildKernel all
+// validate, so out-of-range inputs fail at the API boundary.
+func (sc Scenario) Validate() error {
+	sc = sc.withDefaults()
+	if _, ok := stream.FactoryByName(sc.KernelName); !ok {
+		return fmt.Errorf("%w %q (have copy, daxpy, hydro, vaxpy)", ErrUnknownKernel, sc.KernelName)
+	}
+	if sc.N <= 0 {
+		return fmt.Errorf("%w, got %d", ErrBadLength, sc.N)
+	}
+	if sc.Stride <= 0 {
+		return fmt.Errorf("%w, got %d", ErrBadStride, sc.Stride)
+	}
+	if err := sc.Scheme.Validate(); err != nil {
+		return err
+	}
+	if sc.LineWords <= 0 || sc.LineWords%rdram.WordsPerPacket != 0 {
+		return fmt.Errorf("%w: must be a positive multiple of %d, got %d", ErrBadLineWords, rdram.WordsPerPacket, sc.LineWords)
+	}
+	if sc.FIFODepth < rdram.WordsPerPacket {
+		return fmt.Errorf("%w: must be at least %d, got %d", ErrBadFIFODepth, rdram.WordsPerPacket, sc.FIFODepth)
+	}
+	if sc.WatchdogLimit < 0 {
+		return fmt.Errorf("%w, got %d", ErrBadWatchdog, sc.WatchdogLimit)
+	}
+	if _, err := sc.controllerName(); err != nil {
+		return err
+	}
+	if sc.Controller != "" {
+		if _, ok := engine.Lookup(sc.Controller); !ok {
+			return fmt.Errorf("%w %q (have %v)", ErrUnknownController, sc.Controller, engine.Names())
+		}
+	}
+	if err := sc.Device.Validate(); err != nil {
+		return err
+	}
+	if sc.Fault != nil {
+		if err := sc.Fault.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Label is the human-readable scenario identifier used in sweep errors and
+// fault-sweep rows: kernel/scheme/controller.
+func (sc Scenario) Label() string {
+	name, err := sc.controllerName()
+	if err != nil {
+		name = "?"
+	}
+	return fmt.Sprintf("%s/%s/%s", sc.KernelName, sc.Scheme, name)
+}
+
 // Outcome reports a simulation's results: the controller's common outcome
 // (cycles, traffic, and bandwidth figures — see engine.Result) plus the
 // harness's functional check.
@@ -140,23 +220,17 @@ func (sc Scenario) controllerName() (string, error) {
 	case SMC:
 		return "smc", nil
 	default:
-		return "", fmt.Errorf("sim: unknown mode %d", int(sc.Mode))
+		return "", fmt.Errorf("%w %d", ErrUnknownMode, int(sc.Mode))
 	}
 }
 
 // BuildKernel lays out and constructs a benchmark kernel for a scenario.
 func BuildKernel(sc Scenario) (*stream.Kernel, error) {
 	sc = sc.withDefaults()
-	f, ok := stream.FactoryByName(sc.KernelName)
-	if !ok {
-		return nil, fmt.Errorf("sim: unknown kernel %q (have copy, daxpy, hydro, vaxpy)", sc.KernelName)
+	if err := sc.Validate(); err != nil {
+		return nil, err
 	}
-	if sc.N <= 0 {
-		return nil, fmt.Errorf("sim: N must be positive, got %d", sc.N)
-	}
-	if sc.Stride <= 0 {
-		return nil, fmt.Errorf("sim: stride must be positive, got %d", sc.Stride)
-	}
+	f, _ := stream.FactoryByName(sc.KernelName)
 	bases, err := stream.Layout(sc.Scheme, sc.Device.Geometry, sc.LineWords, f.Footprints(sc.N, sc.Stride), sc.Placement)
 	if err != nil {
 		return nil, err
@@ -180,13 +254,47 @@ func Run(sc Scenario) (Outcome, error) {
 // scheme (use stream.Layout to place them).
 func RunKernel(k *stream.Kernel, sc Scenario) (Outcome, error) {
 	sc = sc.withDefaults()
+	// Fault wiring happens before the device is built: storms need refresh
+	// armed (the constructor only schedules refresh when the interval is
+	// positive), and an inactive config attaches nothing at all, so
+	// severity 0 is bit-identical to a fault-free run.
+	var inj *fault.Injector
+	if f := sc.Fault; f != nil && f.Active() {
+		if err := f.Validate(); err != nil {
+			return Outcome{}, err
+		}
+		if f.RefreshBase > 0 && sc.Device.RefreshInterval == 0 {
+			sc.Device.RefreshInterval = f.RefreshBase
+		}
+		var err error
+		if inj, err = fault.New(*f, sc.Device.Geometry.Banks); err != nil {
+			return Outcome{}, err
+		}
+	}
+	if err := sc.Device.Validate(); err != nil {
+		return Outcome{}, err
+	}
 	dev := rdram.NewDevice(sc.Device)
+	if inj != nil {
+		dev.Faults = inj
+	}
 	if sc.Trace != nil {
 		dev.Trace = sc.Trace
 	}
 	mapper, err := addrmap.New(sc.Scheme, sc.Device.Geometry, sc.LineWords)
 	if err != nil {
 		return Outcome{}, err
+	}
+	// Caller-built kernels can address anything; reject streams that fall
+	// outside the device before the mapper panics five frames deep.
+	capacity := mapper.CapacityWords()
+	for _, st := range k.Streams {
+		if st.Length <= 0 {
+			continue
+		}
+		if first, last := st.Addr(0), st.Addr(st.Length-1); first < 0 || last < 0 || first >= capacity || last >= capacity {
+			return Outcome{}, fmt.Errorf("sim: stream %q spans addresses [%d, %d] outside device capacity %d words", st.Name, first, last, capacity)
+		}
 	}
 	shadow := seed(dev, mapper, k, sc.Seed)
 
@@ -196,13 +304,14 @@ func RunKernel(k *stream.Kernel, sc Scenario) (Outcome, error) {
 	}
 	ctl, ok := engine.Lookup(name)
 	if !ok {
-		return Outcome{}, fmt.Errorf("sim: unknown controller %q (have %v)", name, engine.Names())
+		return Outcome{}, fmt.Errorf("%w %q (have %v)", ErrUnknownController, name, engine.Names())
 	}
 	res, err := ctl.Run(dev, k, engine.Options{
 		Scheme: sc.Scheme, LineWords: sc.LineWords, FIFODepth: sc.FIFODepth,
 		Policy: int(sc.Policy), SpeculateActivate: sc.SpeculateActivate,
 		WriteAllocate: sc.WriteAllocate, Cache: sc.Cache,
-		Telemetry: sc.Telemetry,
+		Telemetry:     sc.Telemetry,
+		WatchdogLimit: sc.WatchdogLimit,
 	})
 	if err != nil {
 		return Outcome{}, err
@@ -221,10 +330,20 @@ func RunKernel(k *stream.Kernel, sc Scenario) (Outcome, error) {
 
 // RunAll executes scenarios on a bounded worker pool (workers <= 0 uses
 // GOMAXPROCS) and returns the outcomes in scenario order. Each scenario
-// builds its own device, so runs are independent; the results are
-// identical to running the scenarios serially.
+// builds its own device (and its own fault injector), so runs are
+// independent and the results are identical to running serially. A
+// panicking scenario fails only its own row: the pool converts the panic
+// into an error, and the returned error names the scenario.
 func RunAll(scs []Scenario, workers int) ([]Outcome, error) {
-	return engine.Map(workers, len(scs), func(i int) (Outcome, error) { return Run(scs[i]) })
+	outs, err := engine.Map(workers, len(scs), func(i int) (Outcome, error) { return Run(scs[i]) })
+	if err != nil {
+		var pe *engine.PanicError
+		if errors.As(err, &pe) && pe.Index >= 0 && pe.Index < len(scs) {
+			return nil, fmt.Errorf("sim: scenario %d (%s): %w", pe.Index, scs[pe.Index].Label(), err)
+		}
+		return nil, err
+	}
+	return outs, nil
 }
 
 // seed fills every stream element with a deterministic value derived from

@@ -22,5 +22,6 @@ func (controller) Run(dev *rdram.Device, k *stream.Kernel, opt engine.Options) (
 		Policy:            Policy(opt.Policy),
 		SpeculateActivate: opt.SpeculateActivate,
 		Telemetry:         opt.Telemetry,
+		WatchdogLimit:     opt.WatchdogLimit,
 	})
 }

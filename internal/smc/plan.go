@@ -66,6 +66,8 @@ type readFIFO struct {
 
 	issued int // elements fetched or in flight
 	depth  int
+
+	retry retryState
 }
 
 // canFetch reports whether the MSU may issue the next packet for this
@@ -97,7 +99,35 @@ type writeFIFO struct {
 	drainAt  []int64  // DataEnd per drained element, in order
 
 	depth int
+
+	retry retryState
 }
+
+// retryState is a FIFO's transient-rejection backoff: after the device
+// refuses an access under fault injection, the FIFO sits out until retryAt
+// while the MSU services other streams, with the delay doubling per
+// consecutive rejection (capped) so a persistent fault cannot monopolize
+// the scheduler. The engine watchdog bounds total livelock.
+type retryState struct {
+	at      int64 // earliest cycle the next presentation may happen (0 = none)
+	rejects int   // consecutive rejections of the pending access
+}
+
+// blocked reports whether the FIFO is still backing off at time now.
+func (r retryState) blocked(now int64) bool { return r.at > now }
+
+// onReject schedules the next presentation after a rejection at time now.
+func (r *retryState) onReject(now, tPack int64) {
+	shift := r.rejects
+	if shift > 5 {
+		shift = 5
+	}
+	r.at = now + tPack<<shift
+	r.rejects++
+}
+
+// onAccept clears the backoff after a successful presentation.
+func (r *retryState) onAccept() { r.at, r.rejects = 0, 0 }
 
 // canDrain reports whether the next packet's elements have all been pushed.
 func (f *writeFIFO) canDrain() bool {

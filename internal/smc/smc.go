@@ -3,6 +3,7 @@ package smc
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"rdramstream/internal/addrmap"
 	"rdramstream/internal/engine"
@@ -67,6 +68,11 @@ type Config struct {
 	// records depth and starvation, and MSU decisions and CPU stalls land
 	// in the controller probe. Nil runs pay only nil checks.
 	Telemetry *telemetry.Collector
+	// WatchdogLimit bounds forward progress: if the MSU retires no useful
+	// word for this many cycles (a fault-injected rejection livelock, or a
+	// future scheduling bug) the run aborts with a *engine.WatchdogError
+	// carrying a state dump. Zero selects engine.DefaultWatchdogLimit.
+	WatchdogLimit int64
 }
 
 // DefaultConfig returns the paper's base SMC configuration: CLI, 32-byte
@@ -106,6 +112,7 @@ func Run(dev *rdram.Device, k *stream.Kernel, cfg Config) (Result, error) {
 		fe:     fe,
 		k:      k,
 		nr:     k.ReadStreams(),
+		wd:     engine.NewWatchdog(cfg.WatchdogLimit),
 	}
 	if col := cfg.Telemetry; col != nil {
 		s.ctl = engine.Attach(dev, col, telemetry.StallNoRequest)
@@ -168,6 +175,8 @@ type sim struct {
 	msuTime int64
 	current int // round-robin cursor over all FIFOs (reads then writes)
 
+	wd *engine.Watchdog // forward-progress guard (see Config.WatchdogLimit)
+
 	// Telemetry probes; all nil when cfg.Telemetry is nil.
 	col     *telemetry.Collector
 	ctl     *telemetry.ControllerProbe
@@ -182,23 +191,66 @@ func (s *sim) run() error {
 		if s.fe.Done() && !s.msuHasWork() {
 			return nil
 		}
+		if err := s.wd.Check(s.msuTime, s.dumpState); err != nil {
+			return err
+		}
 		if s.issueOne() {
 			continue
 		}
-		// Nothing issuable at msuTime: jump to the next CPU event, which
-		// is the only thing that can change FIFO occupancy.
+		// Nothing issuable at msuTime: jump to the next CPU event (the
+		// only thing that can change FIFO occupancy) or the earliest
+		// rejection-backoff wake-up, whichever comes first.
 		t := s.fe.NextEvent(s)
+		if rt := s.nextRetry(); rt > s.msuTime && (t == engine.Unscheduled || rt < t) {
+			t = rt
+		}
 		if t == engine.Unscheduled || t <= s.msuTime {
 			if s.fe.Done() && !s.msuHasWork() {
 				return nil
 			}
-			return fmt.Errorf("smc: stalled at cycle %d with work remaining (MSU idle, CPU blocked)", s.msuTime)
+			return fmt.Errorf("smc: stalled at cycle %d with work remaining (MSU idle, CPU blocked)\n%s", s.msuTime, s.dumpState())
 		}
 		if s.col != nil {
 			s.noteBlocked(s.msuTime, t)
 		}
 		s.msuTime = t
 	}
+}
+
+// nextRetry returns the earliest still-future rejection-backoff wake-up
+// among FIFOs with work remaining, or unscheduled if none. Expired backoffs
+// are ignored: such a FIFO is already serviceable, so its stale retry time
+// must not masquerade as a wake-up in the past.
+func (s *sim) nextRetry() int64 {
+	t := unscheduled
+	for _, f := range s.reads {
+		if f.nextFetch < len(f.groups) && f.retry.at > s.msuTime && (t == unscheduled || f.retry.at < t) {
+			t = f.retry.at
+		}
+	}
+	for _, f := range s.writes {
+		if f.nextDrain < len(f.groups) && f.retry.at > s.msuTime && (t == unscheduled || f.retry.at < t) {
+			t = f.retry.at
+		}
+	}
+	return t
+}
+
+// dumpState snapshots the MSU for watchdog diagnostics: scheduler time,
+// per-FIFO progress and backoff state, and the device counters.
+func (s *sim) dumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "smc: msuTime=%d policy=%s scheme=%s\n", s.msuTime, s.cfg.Policy, s.cfg.Scheme)
+	for i, f := range s.reads {
+		fmt.Fprintf(&b, "  read fifo %d: group %d/%d occupancy=%d retryAt=%d rejects=%d\n",
+			i, f.nextFetch, len(f.groups), f.issued-f.popped, f.retry.at, f.retry.rejects)
+	}
+	for j, f := range s.writes {
+		fmt.Fprintf(&b, "  write fifo %d: group %d/%d pushed=%d drained=%d retryAt=%d rejects=%d\n",
+			s.nr+j, f.nextDrain, len(f.groups), len(f.pushedAt), len(f.drainAt), f.retry.at, f.retry.rejects)
+	}
+	fmt.Fprintf(&b, "  device: %v", s.dev.Stats())
+	return b.String()
 }
 
 // ReadAvail, WriteFree, PopRead, and PushWrite implement engine.Ports: the
@@ -247,6 +299,18 @@ func (s *sim) noteBlocked(from, until int64) {
 			}
 		}
 	}
+	// Rejection backoff dominates: if any FIFO with work is sitting out a
+	// retry delay, the idle bus is the fault injector's doing.
+	for _, f := range s.reads {
+		if f.nextFetch < len(f.groups) && f.retry.blocked(from) {
+			cause = telemetry.StallFaultRetry
+		}
+	}
+	for _, f := range s.writes {
+		if f.nextDrain < len(f.groups) && f.retry.blocked(from) {
+			cause = telemetry.StallFaultRetry
+		}
+	}
 	s.dprobe.SetIdleCause(cause)
 }
 
@@ -269,21 +333,27 @@ func (s *sim) msuHasWork() bool {
 func (s *sim) fifoCount() int { return len(s.reads) + len(s.writes) }
 
 // canService reports whether FIFO i can accept an access right now, and
-// the earliest time the access's data could move.
+// the earliest time the access's data could move. A FIFO backing off after
+// a transient rejection is not serviceable until its retry time.
 func (s *sim) canService(i int) (bool, int64) {
 	if i < s.nr {
 		f := s.reads[i]
+		if f.retry.blocked(s.msuTime) {
+			return false, 0
+		}
 		return f.canFetch(), s.msuTime
 	}
 	f := s.writes[i-s.nr]
-	if !f.canDrain() {
+	if f.retry.blocked(s.msuTime) || !f.canDrain() {
 		return false, 0
 	}
 	return true, max(s.msuTime, f.drainReady())
 }
 
 // issueOne lets the scheduling policy pick a FIFO and issues one packet
-// for it. It reports whether anything was issued.
+// for it. It reports whether anything was issued; a pick the device
+// transiently rejected counts as not issued (the FIFO backs off and the
+// run loop advances time so other streams get the bus).
 func (s *sim) issueOne() bool {
 	n := s.fifoCount()
 	switch s.cfg.Policy {
@@ -308,8 +378,7 @@ func (s *sim) issueOne() bool {
 		}
 		s.ctl.OnDecision("bankaware")
 		s.current = best
-		s.issue(best)
-		return true
+		return s.issue(best)
 	case HitFirst:
 		// First serviceable FIFO in rotation whose access hits an open
 		// row wins; otherwise fall back to plain rotation order, so a
@@ -328,8 +397,7 @@ func (s *sim) issueOne() bool {
 			if row, open := s.dev.BankOpenRow(g.loc.Bank); open && row == g.loc.Row {
 				s.ctl.OnDecision("hitfirst-hit")
 				s.current = i
-				s.issue(i)
-				return true
+				return s.issue(i)
 			}
 		}
 		if fallback < 0 {
@@ -337,8 +405,7 @@ func (s *sim) issueOne() bool {
 		}
 		s.ctl.OnDecision("hitfirst-fallback")
 		s.current = fallback
-		s.issue(fallback)
-		return true
+		return s.issue(fallback)
 	default: // RoundRobin
 		for off := 0; off < n; off++ {
 			i := (s.current + off) % n
@@ -347,8 +414,7 @@ func (s *sim) issueOne() bool {
 				// until it cannot proceed, then the scan moves past it.
 				s.ctl.OnDecision("roundrobin")
 				s.current = i
-				s.issue(i)
-				return true
+				return s.issue(i)
 			}
 		}
 		return false
@@ -365,8 +431,10 @@ func (s *sim) nextGroup(i int) group {
 	return f.groups[f.nextDrain]
 }
 
-// issue performs one packet access for FIFO i.
-func (s *sim) issue(i int) {
+// issue performs one packet access for FIFO i, reporting whether the
+// device accepted it. On a transient rejection (fault injection) the
+// FIFO's backoff is armed and no controller state changes.
+func (s *sim) issue(i int) bool {
 	g := s.nextGroup(i)
 	var next *group
 	if i < s.nr {
@@ -412,12 +480,28 @@ func (s *sim) issue(i int) {
 		s.dprobe.SetIdleCause(telemetry.StallFIFOEmpty)
 	}
 
+	var retry *retryState
+	if i < s.nr {
+		retry = &s.reads[i].retry
+	} else {
+		retry = &s.writes[i-s.nr].retry
+	}
+
 	// The MSU pipelines command issue: its next scheduling decision is
 	// made one command-lead-time (t_RAC) ahead of this access's data, so
 	// row/column packets for the following access overlap this one's data
 	// transfer (as the Direct RDRAM interface intends), while FIFO
 	// occupancy is still evaluated at a realistic point in time.
-	res := s.dev.Do(at, req)
+	res, ok := s.dev.Attempt(at, req)
+	if !ok {
+		retry.onReject(at, int64(s.dev.Config().Timing.TPack))
+		if s.dprobe != nil {
+			s.dprobe.SetIdleCause(telemetry.StallFaultRetry)
+		}
+		return false
+	}
+	retry.onAccept()
+	s.wd.Progress(res.DataEnd)
 	if lead := res.DataStart - int64(s.dev.Config().Timing.TRAC()); lead > s.msuTime {
 		s.msuTime = lead
 	}
@@ -456,4 +540,5 @@ func (s *sim) issue(i int) {
 		next != nil && !g.sameRowAs(*next) {
 		s.dev.ActivateBank(next.loc.Bank, next.loc.Row, s.msuTime)
 	}
+	return true
 }

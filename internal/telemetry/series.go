@@ -121,14 +121,27 @@ type Histogram struct {
 	maxV   int64
 }
 
-// NewHistogram builds a histogram with the given ascending upper bounds.
-func NewHistogram(bounds ...int64) *Histogram {
+// NewHistogram builds a histogram with the given ascending upper bounds. A
+// non-ascending bound list is a configuration error, reported at
+// construction; every Histogram method is nil-receiver-safe, so callers that
+// ignore the error still degrade to a no-op histogram rather than crashing.
+func NewHistogram(bounds ...int64) (*Histogram, error) {
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
-			panic(fmt.Sprintf("telemetry: histogram bounds not ascending: %v", bounds))
+			return nil, fmt.Errorf("telemetry: histogram bounds not ascending: %v", bounds)
 		}
 	}
-	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}, nil
+}
+
+// MustHistogram is NewHistogram for bound lists known statically; it panics
+// on error.
+func MustHistogram(bounds ...int64) *Histogram {
+	h, err := NewHistogram(bounds...)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 // DefaultLatencyBounds covers the Direct RDRAM latency range: a page hit

@@ -51,6 +51,10 @@ const (
 	// was still consuming FIFO contents (SMC runs end at
 	// max(cpuTime, LastDataEnd)).
 	StallCPUTail
+	// StallFaultRetry: the controller had work but was backing off after a
+	// transient access rejection from the fault injector; the bus idled for
+	// the retry delay. Zero in fault-free runs.
+	StallFaultRetry
 
 	// NumStallCauses sizes per-cause arrays.
 	NumStallCauses
@@ -67,6 +71,7 @@ var stallNames = [NumStallCauses]string{
 	"turnaround",
 	"column",
 	"cpu-tail",
+	"fault-retry",
 }
 
 func (c StallCause) String() string {

@@ -65,7 +65,7 @@ func New(o Options) *Collector {
 		events:    c.Events,
 	}
 	c.Controller = &ControllerProbe{
-		MissLatency: NewHistogram(DefaultLatencyBounds()...),
+		MissLatency: MustHistogram(DefaultLatencyBounds()...),
 		Decisions:   map[string]int64{},
 	}
 	return c

@@ -96,7 +96,10 @@ func TestSeriesNilSafe(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
-	h := NewHistogram(10, 20, 40)
+	h, err := NewHistogram(10, 20, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, v := range []int64{5, 10, 11, 40, 41, 1000} {
 		h.Observe(v)
 	}
@@ -121,13 +124,27 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
-func TestHistogramBadBoundsPanics(t *testing.T) {
+func TestHistogramBadBounds(t *testing.T) {
+	for _, bounds := range [][]int64{{10, 10}, {20, 10}, {1, 2, 2}} {
+		if _, err := NewHistogram(bounds...); err == nil {
+			t.Errorf("NewHistogram(%v): no error for non-ascending bounds", bounds)
+		}
+	}
+	// A nil histogram from a rejected construction must stay inert.
+	h, _ := NewHistogram(10, 10)
+	h.Observe(3)
+	if h.N() != 0 {
+		t.Error("rejected histogram recorded a sample")
+	}
+}
+
+func TestMustHistogramPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("non-ascending bounds did not panic")
+			t.Error("MustHistogram did not panic on non-ascending bounds")
 		}
 	}()
-	NewHistogram(10, 10)
+	MustHistogram(10, 10)
 }
 
 func TestHistogramNilSafe(t *testing.T) {

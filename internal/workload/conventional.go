@@ -59,7 +59,7 @@ func (conventional) Run(dev *rdram.Device, k *stream.Kernel, opt engine.Options)
 		lines[i] = -1
 	}
 	nr := k.ReadStreams()
-	doLine := func(line int64, write bool) {
+	doLine := func(line int64, write bool) error {
 		at := window.Admit(0)
 		base := line * lw
 		var complete int64
@@ -80,9 +80,14 @@ func (conventional) Run(dev *rdram.Device, k *stream.Kernel, opt engine.Options)
 					}
 				}
 			}
-			complete = dev.Do(at, req).DataEnd
+			res, err := engine.Issue(dev, at, req)
+			if err != nil {
+				return err
+			}
+			complete = res.DataEnd
 		}
 		window.Complete(complete)
+		return nil
 	}
 	for i := 0; i < k.Iterations(); i++ {
 		for s := range k.Streams {
@@ -91,7 +96,9 @@ func (conventional) Run(dev *rdram.Device, k *stream.Kernel, opt engine.Options)
 				continue
 			}
 			lines[s] = line
-			doLine(line, s >= nr)
+			if err := doLine(line, s >= nr); err != nil {
+				return engine.Result{}, err
+			}
 		}
 	}
 

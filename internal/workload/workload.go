@@ -133,11 +133,14 @@ func Run(dev *rdram.Device, cfg Config) (Result, error) {
 		var complete int64
 		for p := 0; p < packets; p++ {
 			loc := mapper.Map(base + int64(p*rdram.WordsPerPacket))
-			res := dev.Do(at, rdram.Request{
+			res, err := engine.Issue(dev, at, rdram.Request{
 				Bank: loc.Bank, Row: loc.Row, Col: loc.Col,
 				Write:         write,
 				AutoPrecharge: autoPre && p == packets-1,
 			})
+			if err != nil {
+				return Result{}, err
+			}
 			complete = res.DataEnd
 		}
 		window.Complete(complete)

@@ -38,6 +38,7 @@ import (
 	"rdramstream/internal/analytic"
 	"rdramstream/internal/cache"
 	"rdramstream/internal/compiler"
+	"rdramstream/internal/fault"
 	"rdramstream/internal/rdram"
 	"rdramstream/internal/sim"
 	"rdramstream/internal/smc"
@@ -224,6 +225,23 @@ type (
 // NewTelemetry builds a telemetry collector; the zero Options give
 // 256-cycle windows with event capture off.
 func NewTelemetry(o TelemetryOptions) *Telemetry { return telemetry.New(o) }
+
+// FaultConfig configures the deterministic fault injector (refresh storms,
+// per-bank latency jitter, transient access rejections). Attach one via
+// Scenario.Fault; the same seed always produces the same fault sequence,
+// and a zero-severity config is bit-identical to running with no faults.
+// See docs/ROBUSTNESS.md for the fault model.
+type FaultConfig = fault.Config
+
+// ScaledFaults maps an integer severity (0 = off) onto the canonical fault
+// configuration used by the -faults sweep: rejection probability, jitter
+// amplitude, and refresh-storm shape all grow with severity.
+func ScaledFaults(seed int64, severity int) FaultConfig { return fault.Scaled(seed, severity) }
+
+// ParseInterleave resolves a memory-organization name (case-insensitive
+// "CLI" or "PI") — the single flag-parsing path the CLIs share. Unknown
+// names return an error wrapping addrmap.ErrUnknownScheme.
+func ParseInterleave(name string) (Interleave, error) { return addrmap.ParseScheme(name) }
 
 // CheckTrace validates a recorded device trace against the Direct RDRAM
 // protocol rules of the paper's Figure 2 — an oracle independent of the
