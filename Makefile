@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-telemetry profile figures examples cover fuzz clean
+.PHONY: all build test vet bench bench-telemetry profile figures examples cover fuzz serve clean
 
 all: vet test build
 
@@ -44,6 +44,10 @@ examples:
 cover:
 	$(GO) test -covermode=atomic -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -1
+
+# Local simulation server with an on-disk result cache (see docs/SERVICE.md).
+serve:
+	$(GO) run ./cmd/rdserved -addr :8347 -cache-dir out/rdcache
 
 # Short fuzz passes over the address mapper and the device protocol.
 fuzz:

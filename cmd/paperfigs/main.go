@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"rdramstream/internal/experiments"
+	"rdramstream/internal/version"
 )
 
 func main() {
@@ -29,7 +30,13 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV copies of each table")
 	svgDir := flag.String("svg", "", "directory to write SVG renderings of Figures 7, 8, and 9")
 	workers := flag.Int("workers", 0, "worker count for figure regeneration (0 = GOMAXPROCS, 1 = serial)")
+	showVersion := flag.Bool("version", false, "print the version stamp and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.Stamp())
+		return
+	}
 
 	writeSVG := func(name, content string) {
 		if *svgDir == "" {

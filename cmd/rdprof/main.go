@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"rdramstream"
+	"rdramstream/internal/version"
 )
 
 func main() {
@@ -52,7 +53,13 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_telemetry.json", "output file for -bench")
 	benchIters := flag.Int("bench-iters", 7, "timed iterations per configuration for -bench")
 	offOverhead := flag.Float64("off-overhead-pct", 0, "record this externally measured telemetry-off-vs-uninstrumented overhead percentage in the -bench output")
+	showVersion := flag.Bool("version", false, "print the version stamp and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.Stamp())
+		return
+	}
 
 	sc := rdramstream.Scenario{
 		KernelName:        *kernel,

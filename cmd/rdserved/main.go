@@ -1,0 +1,119 @@
+// Command rdserved serves the simulator over HTTP: a batched job queue in
+// front of the engine worker pool, with a content-addressed result cache
+// so identical scenarios — across requests, clients, and restarts (with
+// -cache-dir) — simulate once.
+//
+//	rdserved -addr :8347 -workers 8 -cache-entries 4096 -cache-dir /var/cache/rdramstream
+//
+// API (see docs/SERVICE.md):
+//
+//	POST /v1/simulate  one scenario (sim.Scenario JSON), synchronous
+//	POST /v1/sweep     {"scenarios":[...]}, NDJSON stream in input order
+//	GET  /v1/jobs/{id} job status
+//	GET  /healthz      liveness + version stamp
+//	GET  /metrics      cache hit/miss, queue depth, worker utilization,
+//	                   stall-cause aggregates
+//
+// Shutdown: SIGINT/SIGTERM stops accepting connections, drains the job
+// queue (bounded by -drain-timeout), then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rdramstream/internal/resultcache"
+	"rdramstream/internal/service"
+	"rdramstream/internal/version"
+)
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 1024, "max queued scenarios across all jobs")
+	batchSize := flag.Int("batch", 32, "max scenarios coalesced into one worker-pool batch")
+	cacheEntries := flag.Int("cache-entries", 1024, "in-memory result-cache capacity (entries)")
+	cacheDir := flag.String("cache-dir", "", "on-disk result store directory (empty = memory only)")
+	requestTimeout := flag.Duration("request-timeout", 5*time.Minute, "per-request simulation deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+	showVersion := flag.Bool("version", false, "print the version stamp and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.Stamp())
+		return
+	}
+
+	cache, err := resultcache.New(resultcache.Options{MaxEntries: *cacheEntries, Dir: *cacheDir})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	svc, err := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		BatchSize:  *batchSize,
+		Cache:      cache,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           withDeadline(service.NewHandler(svc), *requestTimeout),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "rdserved: %s\nrdserved: listening on %s\n", version.Stamp(), *addr)
+
+	select {
+	case err := <-errCh:
+		fatalf("%v", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "rdserved: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "rdserved: http shutdown: %v\n", err)
+	}
+	if err := svc.Close(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "rdserved: drain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "rdserved: bye")
+}
+
+// withDeadline bounds every request's context. Unlike http.TimeoutHandler
+// it never buffers the response, so the sweep endpoint's NDJSON stream
+// still flushes line by line; a request past its deadline sees its
+// context cancel, which fails queued-but-unstarted scenarios and ends the
+// stream.
+func withDeadline(h http.Handler, d time.Duration) http.Handler {
+	if d <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rdserved: "+format+"\n", args...)
+	os.Exit(1)
+}

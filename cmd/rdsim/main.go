@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"rdramstream"
+	"rdramstream/internal/version"
 )
 
 func main() {
@@ -48,7 +49,13 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write telemetry metrics (stall attribution, per-bank counters, windowed series) as JSON to this file")
 	chromeTrace := flag.String("chrome-trace", "", "write a Chrome trace-event JSON file (per-bank and per-FIFO tracks, viewable in Perfetto)")
 	window := flag.Int64("window", 256, "telemetry time-series window in cycles")
+	showVersion := flag.Bool("version", false, "print the version stamp and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.Stamp())
+		return
+	}
 
 	sc := rdramstream.Scenario{
 		KernelName:        *kernel,

@@ -21,6 +21,7 @@ import (
 	"rdramstream/internal/smc"
 	"rdramstream/internal/stream"
 	"rdramstream/internal/trace"
+	"rdramstream/internal/version"
 	"rdramstream/internal/workload"
 )
 
@@ -32,7 +33,13 @@ func main() {
 	fifo := flag.Int("fifo", 16, "SMC FIFO depth")
 	scale := flag.Int("scale", 2, "cycles per timeline character")
 	traceFile := flag.String("tracefile", "", "replay a word-address trace file (lines of \"R|W <addr>\") instead of a kernel")
+	showVersion := flag.Bool("version", false, "print the version stamp and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.Stamp())
+		return
+	}
 
 	scheme, err := addrmap.ParseScheme(*schemeF)
 	if err != nil {

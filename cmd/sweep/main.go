@@ -11,9 +11,11 @@
 //	sweep -faults 42,1,2,4,8 -kernel daxpy         # fault-degradation sweep
 //	sweep -parallel 1                              # force a serial run
 //	sweep -bench-out BENCH_parallel_sweep.json     # time serial vs parallel
+//	sweep -server http://localhost:8347            # offload to a running rdserved
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +27,9 @@ import (
 
 	"rdramstream"
 	"rdramstream/internal/experiments"
+	"rdramstream/internal/service/client"
+	"rdramstream/internal/sim"
+	"rdramstream/internal/version"
 )
 
 func main() {
@@ -36,10 +41,17 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker count for the sweep (0 = GOMAXPROCS, 1 = serial)")
 	faults := flag.String("faults", "", `fault-degradation sweep "seed,severity[,severity...]": every controller and scheme under deterministic fault injection (overrides -var)`)
 	benchOut := flag.String("bench-out", "", "time the sweep serial vs parallel and write a JSON report to this file")
+	server := flag.String("server", "", "offload scenario execution to a running rdserved at this base URL (e.g. http://localhost:8347); repeated sweeps hit its result cache")
+	showVersion := flag.Bool("version", false, "print the version stamp and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(version.Stamp())
+		return
+	}
+
 	if *faults != "" {
-		faultSweep(*faults, *kernel, *n, *parallel)
+		faultSweep(*faults, *kernel, *n, *parallel, *server)
 		return
 	}
 
@@ -105,9 +117,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	run := runner(*server)
 	render := func(workers int) (string, time.Duration) {
 		start := time.Now()
-		outs, err := rdramstream.SimulateAll(scs, workers)
+		outs, err := run(scs, workers)
 		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -130,11 +143,26 @@ func main() {
 	fmt.Print(csv)
 }
 
+// runner picks the execution strategy for a scenario list: in-process on
+// the worker pool, or offloaded to a running rdserved (whose result cache
+// makes repeated sweeps nearly free). The remote path ignores the local
+// worker count — parallelism is the server's -workers setting.
+func runner(server string) func(scs []rdramstream.Scenario, workers int) ([]rdramstream.Outcome, error) {
+	if server == "" {
+		return rdramstream.SimulateAll
+	}
+	cl := client.New(server)
+	return func(scs []rdramstream.Scenario, _ int) ([]rdramstream.Outcome, error) {
+		return cl.SweepOutcomes(context.Background(), scs)
+	}
+}
+
 // faultSweep parses "seed,severity[,severity...]" and emits the fault
 // degradation of every controller × scheme as CSV. The same seed always
 // yields byte-identical output, at any worker count — CI diffs two runs to
-// hold that guarantee.
-func faultSweep(spec, kernel string, n, workers int) {
+// hold that guarantee. The "# seed=…" header makes every artifact
+// self-describing: the table regenerates from the file alone.
+func faultSweep(spec, kernel string, n, workers int, server string) {
 	fields := strings.Split(spec, ",")
 	if len(fields) < 2 {
 		fmt.Fprintf(os.Stderr, "sweep: -faults wants \"seed,severity[,severity...]\", got %q\n", spec)
@@ -154,11 +182,19 @@ func faultSweep(spec, kernel string, n, workers int) {
 		}
 		severities = append(severities, sev)
 	}
-	pts, err := experiments.FaultSweepPoints(kernel, n, seed, severities, workers)
+	run := runner(server)
+	pts, err := experiments.FaultSweepPointsWith(kernel, n, seed, severities, func(scs []sim.Scenario) ([]sim.Outcome, error) {
+		return run(scs, workers)
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
+	sevStrs := make([]string, len(severities))
+	for i, s := range severities {
+		sevStrs[i] = strconv.Itoa(s)
+	}
+	fmt.Printf("# seed=%d severities=%s kernel=%s n=%d\n", seed, strings.Join(sevStrs, ","), kernel, n)
 	fmt.Println("severity,controller,scheme,percent_peak,percent_of_clean,cycles,rejections,jitter_cycles,refreshes,verified")
 	for _, p := range pts {
 		fmt.Printf("%d,%s,%s,%.2f,%.2f,%d,%d,%d,%d,%v\n",

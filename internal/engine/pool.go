@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -45,8 +46,23 @@ func safeCall[T any](i int, fn func(i int) (T, error)) (res T, err error) {
 // the lowest failing index regardless of worker count or scheduling. On
 // error the results are discarded.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with cancellation: once ctx is done, no further job starts
+// — a job index whose turn comes after cancellation fails with the
+// context's error instead of running — while jobs already in flight finish
+// normally. The cancellation boundary is the job, so callers that abandon
+// a sweep (server-side request timeouts, client disconnects) reclaim the
+// pool after at most one in-flight job per worker rather than leaking a
+// goroutine per remaining scenario.
+//
+// Error determinism is the same as Map's: the returned error is that of
+// the lowest failing index, which after cancellation is the context error
+// of the first job that observed it.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -58,6 +74,9 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	errs := make([]error, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			var err error
 			if results[i], err = safeCall(i, fn); err != nil {
 				return nil, err
@@ -71,6 +90,15 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	// the winning error is deterministic.
 	var minFail atomic.Int64
 	minFail.Store(int64(n))
+	fail := func(i int, err error) {
+		errs[i] = err
+		for {
+			cur := minFail.Load()
+			if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
+				break
+			}
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -84,18 +112,16 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				if int64(i) > minFail.Load() {
 					continue // cancelled: a lower index already failed
 				}
+				if err := ctx.Err(); err != nil {
+					fail(i, err)
+					continue
+				}
 				var err error
 				results[i], err = safeCall(i, fn)
 				if err == nil {
 					continue
 				}
-				errs[i] = err
-				for {
-					cur := minFail.Load()
-					if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
-						break
-					}
-				}
+				fail(i, err)
 			}
 		}()
 	}

@@ -32,12 +32,27 @@ type FaultPoint struct {
 	Verified       bool           `json:"verified"`
 }
 
+// Runner executes a scenario list and returns the outcomes in input
+// order — the seam that lets a sweep run locally (sim.RunAll) or be
+// offloaded to a running rdserved instance (the service client): the
+// scenario construction and the percent-of-clean bookkeeping stay in one
+// place either way.
+type Runner func([]sim.Scenario) ([]sim.Outcome, error)
+
 // FaultSweepPoints runs one kernel across fault severities for every
 // controller and scheme, on the shared worker pool. Severity 0 (the clean
 // baseline) is always measured first and anchors PercentOfClean; the fault
 // sequence for each scenario depends only on the seed and severity, so the
 // points are byte-identical for any worker count.
 func FaultSweepPoints(kernel string, n int, seed int64, severities []int, workers int) ([]FaultPoint, error) {
+	return FaultSweepPointsWith(kernel, n, seed, severities, func(scs []sim.Scenario) ([]sim.Outcome, error) {
+		return sim.RunAll(scs, workers)
+	})
+}
+
+// FaultSweepPointsWith is FaultSweepPoints with the execution strategy
+// injected.
+func FaultSweepPointsWith(kernel string, n int, seed int64, severities []int, run Runner) ([]FaultPoint, error) {
 	sevs := []int{0}
 	for _, s := range severities {
 		if s > 0 {
@@ -67,9 +82,12 @@ func FaultSweepPoints(kernel string, n int, seed int64, severities []int, worker
 		}
 	}
 
-	outs, err := sim.RunAll(scs, workers)
+	outs, err := run(scs)
 	if err != nil {
 		return nil, err
+	}
+	if len(outs) != len(scs) {
+		return nil, fmt.Errorf("experiments: runner returned %d outcomes for %d scenarios", len(outs), len(scs))
 	}
 	perSev := len(FaultControllers) * 2
 	for i, out := range outs {

@@ -1,0 +1,301 @@
+// Package resultcache memoizes simulation outcomes behind a canonical,
+// content-addressed key. It is the serving layer's answer to the cost of
+// cycle-accurate simulation: every figure, sweep, and API request that
+// names a scenario already simulated — by anyone, at any worker count —
+// is answered from the cache with an outcome bit-identical to a fresh
+// sim.Run.
+//
+// Three layers compose:
+//
+//   - Key: a SHA-256 over the scenario's canonical form (sim.Canonical:
+//     defaults filled, controller resolved by registry name, observers
+//     dropped) plus the device, cache, and fault configurations and the
+//     build's version.Stamp. Equal simulations hash equal regardless of
+//     how the scenario was spelled; any model or version change changes
+//     every key.
+//   - an in-memory LRU bounded by entry count, and an optional on-disk
+//     JSON store (one file per key) that survives restarts and is shared
+//     between processes;
+//   - singleflight deduplication: identical scenarios requested
+//     concurrently run once, and every waiter receives the same outcome.
+//
+// Determinism contract: the cache stores outcomes by value and never
+// re-derives them, so a hit is the bit pattern the original sim.Run
+// produced. JSON round-trips through the disk store are exact — Go
+// encodes float64 with the shortest representation that parses back to
+// the same bits, and outcomes never carry NaN or Inf.
+package resultcache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"rdramstream/internal/sim"
+	"rdramstream/internal/version"
+)
+
+// Runner executes one scenario on a cache miss. The default is sim.Run;
+// the service layer substitutes a runner that attaches telemetry first.
+type Runner func(sim.Scenario) (sim.Outcome, error)
+
+// Options configures a Cache. The zero value is usable: 1024 in-memory
+// entries, no disk store.
+type Options struct {
+	// MaxEntries bounds the in-memory LRU (default 1024; the LRU always
+	// holds at least one entry).
+	MaxEntries int
+	// Dir, when non-empty, enables the on-disk store: one JSON file per
+	// key under this directory, created on first use. Disk entries whose
+	// version stamp no longer matches the binary are ignored.
+	Dir string
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	// Hits counts requests answered from memory, Misses requests that ran
+	// a simulation.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// DiskHits counts misses rescued by the on-disk store (a subset of
+	// neither Hits nor Misses: disk hits are their own class).
+	DiskHits int64 `json:"disk_hits"`
+	// Dedups counts requests that piggybacked on an identical in-flight
+	// simulation instead of starting their own.
+	Dedups int64 `json:"dedups"`
+	// Evictions counts LRU entries displaced by newer ones.
+	Evictions int64 `json:"evictions"`
+	// DiskErrors counts best-effort disk reads/writes that failed; the
+	// cache degrades to memory-only rather than failing requests.
+	DiskErrors int64 `json:"disk_errors"`
+	// Entries is the current in-memory entry count.
+	Entries int `json:"entries"`
+}
+
+// Cache is a content-addressed store of simulation outcomes. All methods
+// are safe for concurrent use.
+type Cache struct {
+	maxEntries int
+	disk       *diskStore // nil when no Dir was configured
+	vstamp     string
+
+	mu      sync.Mutex
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // key -> element whose Value is *entry
+
+	flightMu sync.Mutex
+	inflight map[string]*flight
+
+	hits, misses, diskHits, dedups, evictions, diskErrors atomic.Int64
+}
+
+type entry struct {
+	key string
+	out sim.Outcome
+}
+
+// flight is one in-progress simulation shared by all concurrent callers
+// with the same key.
+type flight struct {
+	done chan struct{}
+	out  sim.Outcome
+	err  error
+}
+
+// New builds a Cache. The disk directory, when configured, is created
+// immediately so a misconfigured path fails at construction, not on the
+// first miss.
+func New(o Options) (*Cache, error) {
+	if o.MaxEntries <= 0 {
+		o.MaxEntries = 1024
+	}
+	c := &Cache{
+		maxEntries: o.MaxEntries,
+		vstamp:     version.Stamp(),
+		order:      list.New(),
+		entries:    make(map[string]*list.Element),
+		inflight:   make(map[string]*flight),
+	}
+	if o.Dir != "" {
+		d, err := newDiskStore(o.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("resultcache: %w", err)
+		}
+		c.disk = d
+	}
+	return c, nil
+}
+
+// Key returns the content address of a scenario: a hex SHA-256 over its
+// canonical form and the build's version stamp. Scenarios that simulate
+// identically key identically — Mode vs. Controller spelling, omitted vs.
+// explicit defaults, and attached observers all collapse — and the key is
+// independent of field declaration order because the digest input is a
+// sorted field list.
+func Key(sc sim.Scenario) (string, error) {
+	canon, err := sc.Canonical()
+	if err != nil {
+		return "", err
+	}
+	fields := []string{
+		fmt.Sprintf("cache=%+v", canon.Cache),
+		fmt.Sprintf("controller=%s", canon.Controller),
+		fmt.Sprintf("device=%+v", canon.Device),
+		fmt.Sprintf("fault=%+v", canon.Fault),
+		fmt.Sprintf("fifoDepth=%d", canon.FIFODepth),
+		fmt.Sprintf("kernel=%s", canon.KernelName),
+		fmt.Sprintf("lineWords=%d", canon.LineWords),
+		fmt.Sprintf("n=%d", canon.N),
+		fmt.Sprintf("placement=%d", int(canon.Placement)),
+		fmt.Sprintf("policy=%d", int(canon.Policy)),
+		fmt.Sprintf("scheme=%d", int(canon.Scheme)),
+		fmt.Sprintf("seed=%d", canon.Seed),
+		fmt.Sprintf("skipVerify=%v", canon.SkipVerify),
+		fmt.Sprintf("speculate=%v", canon.SpeculateActivate),
+		fmt.Sprintf("stride=%d", canon.Stride),
+		fmt.Sprintf("version=%s", version.Stamp()),
+		fmt.Sprintf("watchdog=%d", canon.WatchdogLimit),
+		fmt.Sprintf("writeAllocate=%v", canon.WriteAllocate),
+	}
+	sort.Strings(fields)
+	sum := sha256.Sum256([]byte(strings.Join(fields, "\n")))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Get looks the scenario up in memory (and then on disk, promoting a find
+// to memory) without running anything. The boolean reports a hit.
+func (c *Cache) Get(sc sim.Scenario) (sim.Outcome, bool, error) {
+	key, err := Key(sc)
+	if err != nil {
+		return sim.Outcome{}, false, err
+	}
+	out, ok := c.lookup(key)
+	return out, ok, nil
+}
+
+// lookup checks memory then disk. It does not touch the hit/miss
+// counters — Do owns those, so a Do that falls through to disk counts
+// once, not twice.
+func (c *Cache) lookup(key string) (sim.Outcome, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		out := el.Value.(*entry).out
+		c.mu.Unlock()
+		return out, true
+	}
+	c.mu.Unlock()
+	if c.disk == nil {
+		return sim.Outcome{}, false
+	}
+	out, ok, err := c.disk.load(key, c.vstamp)
+	if err != nil {
+		c.diskErrors.Add(1)
+		return sim.Outcome{}, false
+	}
+	if !ok {
+		return sim.Outcome{}, false
+	}
+	c.diskHits.Add(1)
+	c.store(key, out, false) // already on disk; promote to memory only
+	return out, true
+}
+
+// store inserts into the LRU (evicting from the back past capacity) and,
+// when writeDisk is set, persists to the disk store best-effort.
+func (c *Cache) store(key string, out sim.Outcome, writeDisk bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*entry).out = out
+	} else {
+		c.entries[key] = c.order.PushFront(&entry{key: key, out: out})
+		for c.order.Len() > c.maxEntries {
+			back := c.order.Back()
+			delete(c.entries, back.Value.(*entry).key)
+			c.order.Remove(back)
+			c.evictions.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	if writeDisk && c.disk != nil {
+		if err := c.disk.save(key, c.vstamp, out); err != nil {
+			c.diskErrors.Add(1)
+		}
+	}
+}
+
+// ErrCanceled wraps the context error of a request abandoned while
+// waiting on an in-flight identical simulation.
+var ErrCanceled = errors.New("resultcache: request canceled")
+
+// Do returns the scenario's outcome, running it at most once: a memory or
+// disk hit answers immediately (hit=true); otherwise the first caller for
+// this key executes run (sim.Run when run is nil) and every concurrent
+// caller with the same key waits for that one execution. Errors are never
+// cached — a failed scenario re-runs on the next request.
+//
+// ctx bounds only the wait of deduplicated followers; the leader's
+// simulation runs to completion so its result can serve other waiters.
+func (c *Cache) Do(ctx context.Context, sc sim.Scenario, run Runner) (sim.Outcome, bool, error) {
+	key, err := Key(sc)
+	if err != nil {
+		return sim.Outcome{}, false, err
+	}
+	if out, ok := c.lookup(key); ok {
+		c.hits.Add(1)
+		return out, true, nil
+	}
+	if run == nil {
+		run = sim.Run
+	}
+
+	c.flightMu.Lock()
+	if fl, ok := c.inflight[key]; ok {
+		c.flightMu.Unlock()
+		c.dedups.Add(1)
+		select {
+		case <-fl.done:
+			return fl.out, false, fl.err
+		case <-ctx.Done():
+			return sim.Outcome{}, false, fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.flightMu.Unlock()
+
+	c.misses.Add(1)
+	fl.out, fl.err = run(sc)
+	if fl.err == nil {
+		c.store(key, fl.out, true)
+	}
+	c.flightMu.Lock()
+	delete(c.inflight, key)
+	c.flightMu.Unlock()
+	close(fl.done)
+	return fl.out, false, fl.err
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	n := c.order.Len()
+	c.mu.Unlock()
+	return Stats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		DiskHits:   c.diskHits.Load(),
+		Dedups:     c.dedups.Load(),
+		Evictions:  c.evictions.Load(),
+		DiskErrors: c.diskErrors.Load(),
+		Entries:    n,
+	}
+}

@@ -1,0 +1,183 @@
+// Package client is the Go client for the rdserved HTTP API
+// (internal/service): submit scenarios and sweeps to a running server
+// instead of simulating in-process, sharing its result cache with every
+// other client. cmd/sweep's -server flag is built on it.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"rdramstream/internal/service"
+	"rdramstream/internal/sim"
+)
+
+// Client talks to one rdserved instance. The zero HTTPClient means
+// http.DefaultClient.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8347".
+	BaseURL string
+	// HTTPClient, when non-nil, overrides http.DefaultClient (tests,
+	// timeouts, transports).
+	HTTPClient *http.Client
+}
+
+// New builds a client for a server root URL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes the server's JSON error body into a Go error.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("client: server %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("client: server %s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+func (c *Client) post(ctx context.Context, path string, body any) (*http.Response, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.http().Do(req)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Simulate runs one scenario on the server and returns its response
+// (outcome, cache key, and whether it was a cache hit).
+func (c *Client) Simulate(ctx context.Context, sc sim.Scenario) (service.SimulateResponse, error) {
+	var out service.SimulateResponse
+	resp, err := c.post(ctx, "/v1/simulate", sc)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, apiError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return out, nil
+}
+
+// Sweep streams a scenario list through the server. Each per-scenario
+// line arrives in input order and is handed to fn as it lands (fn may be
+// nil); the trailing summary line is returned. A non-nil error from fn
+// aborts the stream.
+func (c *Client) Sweep(ctx context.Context, scs []sim.Scenario, fn func(service.SweepLine) error) (service.SweepLine, error) {
+	var summary service.SweepLine
+	resp, err := c.post(ctx, "/v1/sweep", service.SweepRequest{Scenarios: scs})
+	if err != nil {
+		return summary, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return summary, apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var l service.SweepLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			return summary, fmt.Errorf("client: decoding stream line: %w", err)
+		}
+		if l.Done {
+			summary = l
+			return summary, nil
+		}
+		if fn != nil {
+			if err := fn(l); err != nil {
+				return summary, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return summary, fmt.Errorf("client: reading stream: %w", err)
+	}
+	return summary, fmt.Errorf("client: stream ended without a summary line (server stopped mid-sweep?)")
+}
+
+// SweepOutcomes runs a sweep and collects the outcomes in input order —
+// a drop-in remote replacement for sim.RunAll. Any per-scenario error
+// aborts with that scenario's error, mirroring local sweep semantics.
+func (c *Client) SweepOutcomes(ctx context.Context, scs []sim.Scenario) ([]sim.Outcome, error) {
+	outs := make([]sim.Outcome, 0, len(scs))
+	_, err := c.Sweep(ctx, scs, func(l service.SweepLine) error {
+		if l.Error != "" {
+			return fmt.Errorf("client: scenario %d (%s): %s", l.Index, l.Label, l.Error)
+		}
+		if l.Outcome == nil {
+			return fmt.Errorf("client: scenario %d (%s): result line carries no outcome", l.Index, l.Label)
+		}
+		outs = append(outs, *l.Outcome)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// Job fetches a job status snapshot.
+func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.getJSON(ctx, "/v1/jobs/"+id, &st)
+	return st, err
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) (service.HealthResponse, error) {
+	var h service.HealthResponse
+	err := c.getJSON(ctx, "/healthz", &h)
+	return h, err
+}
+
+// Metrics fetches the server's observability snapshot.
+func (c *Client) Metrics(ctx context.Context) (service.Metrics, error) {
+	var m service.Metrics
+	err := c.getJSON(ctx, "/metrics", &m)
+	return m, err
+}

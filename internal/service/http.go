@@ -1,0 +1,203 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"rdramstream/internal/resultcache"
+	"rdramstream/internal/sim"
+	"rdramstream/internal/version"
+)
+
+// Wire types shared by the handler and the client subpackage. The request
+// body of POST /v1/simulate is a bare sim.Scenario in JSON (observer
+// fields are excluded by their tags); sweeps wrap a scenario list.
+
+// SweepRequest is the body of POST /v1/sweep.
+type SweepRequest struct {
+	Scenarios []sim.Scenario `json:"scenarios"`
+}
+
+// SimulateResponse is the body of POST /v1/simulate.
+type SimulateResponse struct {
+	JobID string `json:"job_id"`
+	// Cached reports whether the outcome was served from the result cache.
+	Cached bool `json:"cached"`
+	// Key is the scenario's content address in the cache.
+	Key     string      `json:"key"`
+	Outcome sim.Outcome `json:"outcome"`
+}
+
+// SweepLine is one NDJSON line of a POST /v1/sweep response: either a
+// per-scenario result (in input order, streamed as each completes) or the
+// trailing summary line (Done = true).
+type SweepLine struct {
+	Index   int          `json:"index"`
+	Label   string       `json:"label,omitempty"`
+	Cached  bool         `json:"cached,omitempty"`
+	Outcome *sim.Outcome `json:"outcome,omitempty"`
+	Error   string       `json:"error,omitempty"`
+
+	Done      bool   `json:"done,omitempty"`
+	JobID     string `json:"job_id,omitempty"`
+	Total     int    `json:"total,omitempty"`
+	CacheHits int    `json:"cache_hits,omitempty"`
+	Failed    int    `json:"failed,omitempty"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler wires the service's HTTP API:
+//
+//	POST /v1/simulate  one scenario, synchronous JSON response
+//	POST /v1/sweep     scenario list, NDJSON stream in input order
+//	GET  /v1/jobs/{id} job status snapshot
+//	GET  /healthz      liveness + version stamp
+//	GET  /metrics      cache, queue, worker, job, and stall aggregates
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON emits one JSON body. Marshal errors cannot occur for our wire
+// types; a broken connection is the client's problem.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// submitStatus maps a Submit failure to its HTTP status.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// decodeStrict decodes one JSON body, rejecting unknown fields so a typo
+// in a scenario field fails loudly instead of silently simulating the
+// default.
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var sc sim.Scenario
+	if err := decodeStrict(r, &sc); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := resultcache.Key(sc)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.SubmitOne(r.Context(), sc)
+	if err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	res, err := job.WaitResult(r.Context(), 0)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if res.Error != "" {
+		writeError(w, http.StatusUnprocessableEntity, errors.New(res.Error))
+		return
+	}
+	writeJSON(w, http.StatusOK, SimulateResponse{
+		JobID: job.ID(), Cached: res.Cached, Key: key, Outcome: *res.Outcome,
+	})
+}
+
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.Submit(r.Context(), req.Scenarios)
+	if err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := 0; i < len(req.Scenarios); i++ {
+		res, err := job.WaitResult(r.Context(), i)
+		if err != nil {
+			// The client went away (or the server is hard-stopping) while
+			// we streamed; nothing sensible left to send.
+			return
+		}
+		enc.Encode(SweepLine{
+			Index: res.Index, Label: res.Label, Cached: res.Cached,
+			Outcome: res.Outcome, Error: res.Error,
+		})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	st := job.Status()
+	enc.Encode(SweepLine{
+		Done: true, JobID: job.ID(), Total: st.Total,
+		CacheHits: st.CacheHits, Failed: st.Failed,
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimSpace(r.PathValue("id"))
+	job, err := s.Job(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Version: version.Stamp()})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

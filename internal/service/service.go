@@ -1,0 +1,548 @@
+// Package service is the simulation serving layer: a job queue that
+// accepts single scenarios and whole sweeps, coalesces queued work into
+// batches, and executes the batches on the engine's bounded worker pool
+// through the content-addressed result cache (internal/resultcache).
+// Identical scenarios — across requests, across jobs, across time — run
+// once; everything else runs at the configured parallelism with
+// per-request cancellation threaded down to the scenario boundary via
+// engine.MapCtx.
+//
+// The HTTP front end (http.go, served by cmd/rdserved) and the Go client
+// (client subpackage) are thin shells over this type: all queueing,
+// batching, caching, and telemetry-aggregation behavior lives here and is
+// exercised directly by the package tests.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rdramstream/internal/engine"
+	"rdramstream/internal/resultcache"
+	"rdramstream/internal/sim"
+	"rdramstream/internal/telemetry"
+	"rdramstream/internal/version"
+)
+
+// Config sizes a Service. The zero value is usable.
+type Config struct {
+	// Workers bounds the simulation worker pool (<= 0 uses GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-started scenarios
+	// across all jobs (default 1024). Submissions that would overflow fail
+	// with ErrQueueFull — all-or-nothing, never a partial sweep.
+	QueueDepth int
+	// BatchSize is the most scenarios one dispatcher batch hands to
+	// engine.MapCtx (default 32). Batching amortizes pool startup and
+	// lets concurrent small requests share one worker-pool spin-up.
+	BatchSize int
+	// JobRetention is how many finished jobs remain queryable through
+	// Job/GET /v1/jobs after completion (default 256, oldest evicted).
+	JobRetention int
+	// Cache, when non-nil, is the result cache to serve from; nil builds
+	// a default in-memory cache (1024 entries, no disk store).
+	Cache *resultcache.Cache
+}
+
+// Submission/lifecycle errors, matchable with errors.Is.
+var (
+	ErrClosed     = errors.New("service: closed")
+	ErrQueueFull  = errors.New("service: queue full")
+	ErrEmptyJob   = errors.New("service: job has no scenarios")
+	ErrUnknownJob = errors.New("service: unknown job")
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+)
+
+// ScenarioResult is one scenario's terminal record within a job.
+type ScenarioResult struct {
+	Index int `json:"index"`
+	// Label is the scenario's kernel/scheme/controller identifier.
+	Label string `json:"label"`
+	// Cached reports whether the outcome came from the result cache
+	// rather than a fresh simulation (in-flight dedup counts as fresh).
+	Cached  bool         `json:"cached"`
+	Outcome *sim.Outcome `json:"outcome,omitempty"`
+	Error   string       `json:"error,omitempty"`
+}
+
+// JobStatus is a point-in-time snapshot of a job.
+type JobStatus struct {
+	ID        string `json:"id"`
+	State     State  `json:"state"`
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	CacheHits int    `json:"cache_hits"`
+	// Results holds one entry per finished scenario, in input order;
+	// pending scenarios are nil.
+	Results []*ScenarioResult `json:"results,omitempty"`
+}
+
+// Job tracks one submission (a single scenario or a whole sweep) through
+// the queue. Results land in input order as scenarios finish.
+type Job struct {
+	id  string
+	ctx context.Context
+
+	mu        sync.Mutex
+	state     State
+	completed int
+	failed    int
+	cacheHits int
+	results   []*ScenarioResult
+	ready     []chan struct{} // ready[i] closes when results[i] lands
+	done      chan struct{}   // closes when every scenario is terminal
+}
+
+// ID returns the job's queryable identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when every scenario in the job is
+// terminal.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx is done.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// WaitResult blocks until scenario i's result lands (or ctx is done) and
+// returns it. Streaming responses call it for i = 0, 1, 2, … to emit
+// results in input order as they complete.
+func (j *Job) WaitResult(ctx context.Context, i int) (ScenarioResult, error) {
+	if i < 0 || i >= len(j.ready) {
+		return ScenarioResult{}, fmt.Errorf("service: job %s has no scenario %d", j.id, i)
+	}
+	select {
+	case <-j.ready[i]:
+		return *j.result(i), nil
+	case <-ctx.Done():
+		return ScenarioResult{}, context.Cause(ctx)
+	}
+}
+
+func (j *Job) result(i int) *ScenarioResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.results[i]
+}
+
+// Status snapshots the job. Finished scenario results are shared (never
+// mutated after landing); the slice itself is a copy.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, State: j.state, Total: len(j.results),
+		Completed: j.completed, Failed: j.failed, CacheHits: j.cacheHits,
+		Results: make([]*ScenarioResult, len(j.results)),
+	}
+	copy(st.Results, j.results)
+	return st
+}
+
+func (j *Job) markRunning() {
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateRunning
+	}
+	j.mu.Unlock()
+}
+
+// finish records scenario i's terminal result exactly once.
+func (j *Job) finish(i int, res ScenarioResult) {
+	j.mu.Lock()
+	if j.results[i] != nil {
+		j.mu.Unlock()
+		return
+	}
+	res.Index = i
+	j.results[i] = &res
+	j.completed++
+	if res.Error != "" {
+		j.failed++
+	}
+	if res.Cached {
+		j.cacheHits++
+	}
+	allDone := j.completed == len(j.results)
+	if allDone {
+		j.state = StateDone
+	}
+	j.mu.Unlock()
+	close(j.ready[i])
+	if allDone {
+		close(j.done)
+	}
+}
+
+// task is one scenario of one job, the unit the queue and worker pool
+// move around.
+type task struct {
+	job *Job
+	i   int
+	sc  sim.Scenario
+}
+
+// Service is the job queue + batch dispatcher. Create with New, submit
+// with Submit/SubmitOne, and shut down with Close.
+type Service struct {
+	workers      int
+	queueDepth   int
+	batchSize    int
+	jobRetention int
+	cache        *resultcache.Cache
+
+	ctx    context.Context // hard-stop scope for dispatch batches
+	cancel context.CancelCauseFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*task
+	closed   bool
+	jobs     map[string]*Job
+	jobOrder []string // submission order, for retention eviction
+	nextJob  int64
+
+	stallMu sync.Mutex
+	stalls  map[string]int64
+
+	busy     atomic.Int64
+	tasksRun atomic.Int64
+	batches  atomic.Int64
+	drained  chan struct{} // dispatcher exited
+}
+
+// New builds and starts a Service.
+func New(cfg Config) (*Service, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.JobRetention <= 0 {
+		cfg.JobRetention = 256
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		var err error
+		if cache, err = resultcache.New(resultcache.Options{}); err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s := &Service{
+		workers:      cfg.Workers,
+		queueDepth:   cfg.QueueDepth,
+		batchSize:    cfg.BatchSize,
+		jobRetention: cfg.JobRetention,
+		cache:        cache,
+		ctx:          ctx,
+		cancel:       cancel,
+		jobs:         make(map[string]*Job),
+		stalls:       make(map[string]int64),
+		drained:      make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.dispatch()
+	return s, nil
+}
+
+// Cache exposes the service's result cache (for tests and metrics).
+func (s *Service) Cache() *resultcache.Cache { return s.cache }
+
+// SubmitOne queues a single scenario.
+func (s *Service) SubmitOne(ctx context.Context, sc sim.Scenario) (*Job, error) {
+	return s.Submit(ctx, []sim.Scenario{sc})
+}
+
+// Submit queues a sweep as one job, all-or-nothing: every scenario is
+// validated first (a malformed sweep is rejected whole, before anything
+// runs) and the queue either has room for all of them or the submission
+// fails with ErrQueueFull. ctx scopes the job's execution — when it is
+// canceled, scenarios not yet started fail with the context's error
+// instead of running.
+func (s *Service) Submit(ctx context.Context, scs []sim.Scenario) (*Job, error) {
+	if len(scs) == 0 {
+		return nil, ErrEmptyJob
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for i, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("service: scenario %d: %w", i, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if len(s.queue)+len(scs) > s.queueDepth {
+		return nil, fmt.Errorf("%w: %d queued + %d submitted > depth %d",
+			ErrQueueFull, len(s.queue), len(scs), s.queueDepth)
+	}
+	s.nextJob++
+	job := &Job{
+		id:      fmt.Sprintf("job-%06d", s.nextJob),
+		ctx:     ctx,
+		state:   StateQueued,
+		results: make([]*ScenarioResult, len(scs)),
+		ready:   make([]chan struct{}, len(scs)),
+		done:    make(chan struct{}),
+	}
+	for i := range job.ready {
+		job.ready[i] = make(chan struct{})
+	}
+	s.jobs[job.id] = job
+	s.jobOrder = append(s.jobOrder, job.id)
+	s.evictJobsLocked()
+	for i, sc := range scs {
+		s.queue = append(s.queue, &task{job: job, i: i, sc: sc})
+	}
+	s.cond.Broadcast()
+	return job, nil
+}
+
+// evictJobsLocked drops the oldest finished jobs beyond the retention
+// bound. Unfinished jobs are never evicted, whatever their age.
+func (s *Service) evictJobsLocked() {
+	excess := len(s.jobOrder) - s.jobRetention
+	if excess <= 0 {
+		return
+	}
+	kept := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		j := s.jobs[id]
+		if excess > 0 && j != nil {
+			select {
+			case <-j.done:
+				delete(s.jobs, id)
+				excess--
+				continue
+			default:
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+}
+
+// Job looks a job up by ID.
+func (s *Service) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j, nil
+	}
+	return nil, fmt.Errorf("%w %q", ErrUnknownJob, id)
+}
+
+// dispatch is the single batching loop: it coalesces up to BatchSize
+// queued tasks — across jobs — into one engine.MapCtx call at the
+// configured worker count, then records every task's terminal state.
+func (s *Service) dispatch() {
+	defer close(s.drained)
+	for {
+		batch := s.nextBatch()
+		if batch == nil {
+			return
+		}
+		s.batches.Add(1)
+		_, err := engine.MapCtx(s.ctx, s.workers, len(batch), func(i int) (struct{}, error) {
+			s.runTask(batch[i])
+			return struct{}{}, nil
+		})
+		if err != nil {
+			// Hard stop (Close deadline) or a panic that escaped runTask:
+			// everything in the batch that never reached a terminal state
+			// fails now, so no waiter hangs.
+			for _, t := range batch {
+				t.job.finish(t.i, ScenarioResult{Label: t.sc.Label(), Error: err.Error()})
+			}
+		}
+	}
+}
+
+// nextBatch blocks until work or shutdown; nil means drained-and-closed.
+func (s *Service) nextBatch() []*task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.queue) == 0 {
+		return nil
+	}
+	n := min(s.batchSize, len(s.queue))
+	batch := append([]*task(nil), s.queue[:n]...)
+	s.queue = s.queue[n:]
+	if len(s.queue) == 0 {
+		// Let the backing array be reclaimed between bursts.
+		s.queue = nil
+	}
+	return batch
+}
+
+// runTask executes one scenario through the cache and records its
+// terminal state. It never returns an error: per-scenario failures land
+// in the scenario's result so one bad row cannot sink a batch that also
+// carries other jobs' work.
+func (s *Service) runTask(t *task) {
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
+	defer s.tasksRun.Add(1)
+	t.job.markRunning()
+	if err := t.job.ctx.Err(); err != nil {
+		t.job.finish(t.i, ScenarioResult{Label: t.sc.Label(), Error: context.Cause(t.job.ctx).Error()})
+		return
+	}
+	// Telemetry rides along on real executions only: the collector is
+	// attached inside the cache's runner, so hits and deduped followers —
+	// which run nothing — aggregate nothing. Attaching a collector never
+	// changes the simulated outcome (probes are passive), which keeps
+	// cached results byte-identical to direct sim.Run.
+	var col *telemetry.Collector
+	out, cached, err := s.cache.Do(t.job.ctx, t.sc, func(sc sim.Scenario) (sim.Outcome, error) {
+		col = telemetry.New(telemetry.Options{})
+		sc.Telemetry = col
+		return sim.Run(sc)
+	})
+	if col != nil && err == nil {
+		s.mergeStalls(col)
+	}
+	res := ScenarioResult{Label: t.sc.Label(), Cached: cached}
+	if err != nil {
+		res.Error = err.Error()
+	} else {
+		res.Outcome = &out
+	}
+	t.job.finish(t.i, res)
+}
+
+// mergeStalls folds one run's stall-cause attribution into the service-
+// wide aggregate exposed by /metrics.
+func (s *Service) mergeStalls(col *telemetry.Collector) {
+	rep := col.Report()
+	s.stallMu.Lock()
+	for cause, cycles := range rep.Stalls {
+		s.stalls[cause] += cycles
+	}
+	s.stallMu.Unlock()
+}
+
+// Close drains the service: no new submissions are accepted, queued work
+// keeps executing, and Close returns once the queue is empty. If ctx
+// expires first, the drain hardens into a stop — in-flight scenarios
+// finish (the cancellation boundary is the scenario) but everything still
+// queued fails with the shutdown cause, and ctx's error is returned.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		s.cancel(fmt.Errorf("service: shutdown deadline: %w", context.Cause(ctx)))
+		<-s.drained
+		return context.Cause(ctx)
+	}
+}
+
+// QueueMetrics, WorkerMetrics, and JobMetrics are the /metrics sections.
+type QueueMetrics struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+}
+
+type WorkerMetrics struct {
+	Configured int   `json:"configured"`
+	Busy       int64 `json:"busy"`
+	TasksRun   int64 `json:"tasks_run"`
+	Batches    int64 `json:"batches"`
+	// Utilization is the instantaneous busy fraction of the pool.
+	Utilization float64 `json:"utilization"`
+}
+
+type JobMetrics struct {
+	Submitted int64 `json:"submitted"`
+	Active    int   `json:"active"`
+	Retained  int   `json:"retained"`
+}
+
+// Metrics is the service-wide observability snapshot.
+type Metrics struct {
+	Version string            `json:"version"`
+	Cache   resultcache.Stats `json:"cache"`
+	Queue   QueueMetrics      `json:"queue"`
+	Workers WorkerMetrics     `json:"workers"`
+	Jobs    JobMetrics        `json:"jobs"`
+	// Stalls aggregates the stall-cause attribution (idle DATA-bus
+	// cycles by cause, see internal/telemetry) over every simulation this
+	// service actually executed; cache hits contribute nothing.
+	Stalls map[string]int64 `json:"stalls"`
+}
+
+// Metrics snapshots the service.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	depth := len(s.queue)
+	submitted := s.nextJob
+	retained := len(s.jobs)
+	active := 0
+	for _, j := range s.jobs {
+		select {
+		case <-j.done:
+		default:
+			active++
+		}
+	}
+	s.mu.Unlock()
+
+	s.stallMu.Lock()
+	stalls := make(map[string]int64, len(s.stalls))
+	for k, v := range s.stalls {
+		stalls[k] = v
+	}
+	s.stallMu.Unlock()
+
+	busy := s.busy.Load()
+	return Metrics{
+		Version: version.Stamp(),
+		Cache:   s.cache.Stats(),
+		Queue:   QueueMetrics{Depth: depth, Capacity: s.queueDepth},
+		Workers: WorkerMetrics{
+			Configured:  s.workers,
+			Busy:        busy,
+			TasksRun:    s.tasksRun.Load(),
+			Batches:     s.batches.Load(),
+			Utilization: float64(busy) / float64(s.workers),
+		},
+		Jobs:   JobMetrics{Submitted: submitted, Active: active, Retained: retained},
+		Stalls: stalls,
+	}
+}

@@ -1,0 +1,222 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/sim"
+	"rdramstream/internal/stream"
+)
+
+func scenario(n int) sim.Scenario {
+	return sim.Scenario{
+		KernelName: "daxpy", N: n, Scheme: addrmap.PI, Mode: sim.SMC,
+		FIFODepth: 32, Placement: stream.Staggered,
+	}
+}
+
+func newService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	return s
+}
+
+func TestSubmitOneMatchesDirectRun(t *testing.T) {
+	s := newService(t, Config{Workers: 2})
+	sc := scenario(256)
+	direct, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := s.SubmitOne(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.WaitResult(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != "" {
+		t.Fatalf("scenario failed: %s", res.Error)
+	}
+	if res.Cached {
+		t.Error("first submission reported a cache hit")
+	}
+	if !reflect.DeepEqual(*res.Outcome, direct) {
+		t.Errorf("service outcome differs from direct sim.Run:\n  got  %+v\n  want %+v", *res.Outcome, direct)
+	}
+
+	// Resubmission is a cache hit with the identical outcome.
+	job2, err := s.SubmitOne(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := job2.WaitResult(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached {
+		t.Error("resubmission was not served from cache")
+	}
+	if !reflect.DeepEqual(*res2.Outcome, direct) {
+		t.Error("cached outcome differs from direct sim.Run")
+	}
+}
+
+func TestSweepResultsInInputOrder(t *testing.T) {
+	s := newService(t, Config{Workers: 4, BatchSize: 3})
+	var scs []sim.Scenario
+	lengths := []int{64, 128, 256, 64, 512} // index 3 repeats index 0: in-sweep cache hit
+	for _, n := range lengths {
+		scs = append(scs, scenario(n))
+	}
+	job, err := s.Submit(context.Background(), scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := job.Status()
+	if st.State != StateDone || st.Completed != len(scs) || st.Failed != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+	for i, res := range st.Results {
+		if res == nil || res.Index != i {
+			t.Fatalf("result %d missing or misindexed: %+v", i, res)
+		}
+		direct, err := sim.Run(scs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(*res.Outcome, direct) {
+			t.Errorf("scenario %d (n=%d): outcome differs from direct run", i, lengths[i])
+		}
+	}
+	if st.CacheHits == 0 {
+		t.Error("duplicate scenario in the sweep was not served from cache")
+	}
+}
+
+func TestSubmitValidatesUpFront(t *testing.T) {
+	s := newService(t, Config{Workers: 1})
+	bad := scenario(256)
+	bad.KernelName = "no-such-kernel"
+	if _, err := s.Submit(context.Background(), []sim.Scenario{scenario(64), bad}); err == nil {
+		t.Fatal("malformed sweep was accepted")
+	}
+	if _, err := s.Submit(context.Background(), nil); !errors.Is(err, ErrEmptyJob) {
+		t.Fatalf("empty sweep: got %v, want ErrEmptyJob", err)
+	}
+}
+
+func TestQueueFullIsAllOrNothing(t *testing.T) {
+	s := newService(t, Config{Workers: 1, QueueDepth: 3})
+	// Block the dispatcher with a job whose context gate we control via a
+	// long scenario; simpler: fill the queue faster than one worker
+	// drains it and check overflow rejects the whole batch.
+	scs := []sim.Scenario{scenario(64), scenario(128), scenario(256), scenario(512)}
+	if _, err := s.Submit(context.Background(), scs); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	if m := s.Metrics(); m.Queue.Depth != 0 {
+		t.Errorf("rejected submission left %d tasks queued", m.Queue.Depth)
+	}
+}
+
+func TestJobContextCancelsQueuedWork(t *testing.T) {
+	s := newService(t, Config{Workers: 1, BatchSize: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before anything runs
+	job, err := s.Submit(ctx, []sim.Scenario{scenario(64), scenario(128)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer wcancel()
+	if err := job.Wait(wctx); err != nil {
+		t.Fatal(err)
+	}
+	st := job.Status()
+	if st.Failed != 2 {
+		t.Fatalf("status = %+v, want both scenarios failed with the cancellation cause", st)
+	}
+}
+
+func TestCloseDrainsQueuedWork(t *testing.T) {
+	s, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := s.Submit(context.Background(), []sim.Scenario{scenario(64), scenario(128)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st := job.Status()
+	if st.State != StateDone || st.Failed != 0 {
+		t.Fatalf("drain left job in %+v", st)
+	}
+	if _, err := s.SubmitOne(context.Background(), scenario(64)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close submit: got %v, want ErrClosed", err)
+	}
+}
+
+func TestMetricsAggregateStalls(t *testing.T) {
+	s := newService(t, Config{Workers: 1})
+	job, err := s.SubmitOne(context.Background(), scenario(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Version == "" {
+		t.Error("metrics carry no version stamp")
+	}
+	if m.Cache.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 miss", m.Cache)
+	}
+	if m.Workers.TasksRun != 1 {
+		t.Errorf("worker stats = %+v, want 1 task run", m.Workers)
+	}
+	if len(m.Stalls) == 0 {
+		t.Error("no stall-cause aggregates after an executed simulation")
+	}
+	var total int64
+	for _, v := range m.Stalls {
+		total += v
+	}
+	if total <= 0 {
+		t.Errorf("stall aggregate total = %d, want positive", total)
+	}
+
+	// A cache hit must not add to the stall aggregates.
+	job2, _ := s.SubmitOne(context.Background(), scenario(256))
+	job2.Wait(context.Background())
+	m2 := s.Metrics()
+	var total2 int64
+	for _, v := range m2.Stalls {
+		total2 += v
+	}
+	if total2 != total {
+		t.Errorf("cache hit changed stall aggregates: %d -> %d", total, total2)
+	}
+}

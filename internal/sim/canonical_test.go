@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/fault"
+	"rdramstream/internal/rdram"
+	"rdramstream/internal/stream"
+)
+
+func TestCanonicalCollapsesSpellings(t *testing.T) {
+	viaMode := Scenario{
+		KernelName: "daxpy", N: 256, Scheme: addrmap.PI, Mode: SMC,
+		Placement: stream.Staggered,
+	}
+	viaName := viaMode
+	viaName.Mode = NaturalOrder
+	viaName.Controller = "smc"
+	explicit := viaMode
+	explicit.LineWords = 4
+	explicit.FIFODepth = 32
+	explicit.Stride = 1
+	explicit.Device = rdram.DefaultConfig()
+	inactiveFault := viaMode
+	inactiveFault.Fault = &fault.Config{Seed: 3}
+
+	want, err := viaMode.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Controller != "smc" {
+		t.Fatalf("canonical controller = %q, want smc", want.Controller)
+	}
+	if want.LineWords != 4 || want.FIFODepth != 32 || want.Stride != 1 {
+		t.Fatalf("canonical did not fill defaults: %+v", want)
+	}
+	for name, sc := range map[string]Scenario{
+		"registry-name":     viaName,
+		"explicit-defaults": explicit,
+		"inactive-fault":    inactiveFault,
+	} {
+		got, err := sc.Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: canonical form differs:\n  got  %+v\n  want %+v", name, got, want)
+		}
+	}
+}
+
+func TestCanonicalDoesNotAliasPointers(t *testing.T) {
+	fc := fault.Scaled(1, 2)
+	sc := Scenario{KernelName: "copy", N: 64, Mode: NaturalOrder, Fault: &fc}
+	canon, err := sc.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Fault == &fc {
+		t.Error("canonical scenario aliases the caller's fault config")
+	}
+	if !reflect.DeepEqual(*canon.Fault, fc) {
+		t.Error("canonical fault config differs from the original")
+	}
+}
+
+// TestScenarioJSONRoundTrip: the wire format drops observers and
+// round-trips everything else, so a scenario POSTed to the serving layer
+// simulates exactly like the original.
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	fc := fault.Scaled(5, 1)
+	sc := Scenario{
+		KernelName: "vaxpy", N: 128, Stride: 2, Scheme: addrmap.CLI,
+		Controller: "conventional", FIFODepth: 16, Seed: 42, Fault: &fc,
+		Trace: func(rdram.TraceEvent) {}, // observer: must not leak into JSON
+	}
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatalf("marshal with observers attached: %v", err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Trace != nil || back.Telemetry != nil {
+		t.Error("observers survived the JSON round trip")
+	}
+	sc.Trace = nil
+	if !reflect.DeepEqual(back, sc) {
+		t.Errorf("round trip changed the scenario:\n  got  %+v\n  want %+v", back, sc)
+	}
+}
+
+func TestRunAllCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	scs := []Scenario{
+		{KernelName: "daxpy", N: 64, Mode: SMC, Placement: stream.Staggered},
+		{KernelName: "copy", N: 64, Mode: NaturalOrder, Placement: stream.Staggered},
+	}
+	if _, err := RunAllCtx(ctx, scs, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// And an open context behaves exactly like RunAll.
+	a, err := RunAll(scs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAllCtx(context.Background(), scs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("RunAllCtx outcomes differ from RunAll")
+	}
+}

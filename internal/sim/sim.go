@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -101,12 +102,15 @@ type Scenario struct {
 	// attribution of every idle DATA-bus cycle, FIFO depth/starvation
 	// (SMC), and the miss-latency histogram (natural order). The caller
 	// keeps the collector and reads it back after the run; Finalize is
-	// called with the run's total cycles.
-	Telemetry *telemetry.Collector
+	// called with the run's total cycles. Telemetry is an observer: it
+	// never changes the simulated outcome, so it is excluded from JSON
+	// encoding (the service wire format) and from result-cache keys.
+	Telemetry *telemetry.Collector `json:"-"`
 	// Trace, when non-nil, receives every packet the device schedules —
 	// the hook behind trace recording, protocol checking (rdsim -check),
-	// and the Figure 5/6 timelines.
-	Trace func(rdram.TraceEvent)
+	// and the Figure 5/6 timelines. Like Telemetry, it is a pure observer
+	// and excluded from JSON encoding.
+	Trace func(rdram.TraceEvent) `json:"-"`
 }
 
 // withDefaults fills zero fields.
@@ -183,6 +187,40 @@ func (sc Scenario) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Canonical returns the scenario in normal form: defaults filled
+// (LineWords, FIFODepth, Stride, Device) and the controller resolved to
+// its registry name, with Mode cleared. Two scenarios that simulate
+// identically — one spelling the controller through Mode, the other
+// through Controller, one relying on defaults, the other spelling them
+// out — canonicalize to equal values, which is what makes result-cache
+// keys order- and spelling-independent. Observer fields (Telemetry,
+// Trace) are dropped: they never affect the outcome.
+func (sc Scenario) Canonical() (Scenario, error) {
+	sc = sc.withDefaults()
+	name, err := sc.controllerName()
+	if err != nil {
+		return Scenario{}, err
+	}
+	sc.Controller = name
+	sc.Mode = NaturalOrder // subsumed by Controller; zero the redundant field
+	if sc.Fault != nil {
+		if !sc.Fault.Active() {
+			// An inactive config is bit-identical to no faults.
+			sc.Fault = nil
+		} else {
+			f := *sc.Fault // don't alias the caller's pointer
+			sc.Fault = &f
+		}
+	}
+	if sc.Cache != nil {
+		c := *sc.Cache
+		sc.Cache = &c
+	}
+	sc.Telemetry = nil
+	sc.Trace = nil
+	return sc, nil
 }
 
 // Label is the human-readable scenario identifier used in sweep errors and
@@ -335,7 +373,16 @@ func RunKernel(k *stream.Kernel, sc Scenario) (Outcome, error) {
 // panicking scenario fails only its own row: the pool converts the panic
 // into an error, and the returned error names the scenario.
 func RunAll(scs []Scenario, workers int) ([]Outcome, error) {
-	outs, err := engine.Map(workers, len(scs), func(i int) (Outcome, error) { return Run(scs[i]) })
+	return RunAllCtx(context.Background(), scs, workers)
+}
+
+// RunAllCtx is RunAll with cancellation: once ctx is done no further
+// scenario starts, and the sweep returns the context's error. Scenarios
+// already in flight complete first (the cancellation boundary is the
+// scenario), so a server-side timeout or client disconnect reclaims the
+// pool instead of abandoning goroutines mid-simulation.
+func RunAllCtx(ctx context.Context, scs []Scenario, workers int) ([]Outcome, error) {
+	outs, err := engine.MapCtx(ctx, workers, len(scs), func(i int) (Outcome, error) { return Run(scs[i]) })
 	if err != nil {
 		var pe *engine.PanicError
 		if errors.As(err, &pe) && pe.Index >= 0 && pe.Index < len(scs) {

@@ -1,0 +1,29 @@
+package version_test
+
+import (
+	"strings"
+	"testing"
+
+	"rdramstream/internal/version"
+
+	// Link the full controller set so the fingerprint matches what the
+	// cmds (which all reach sim) compute.
+	_ "rdramstream/internal/sim"
+)
+
+func TestStampShape(t *testing.T) {
+	s := version.Stamp()
+	if !strings.HasPrefix(s, version.Module+" "+version.Semver+" model=") {
+		t.Fatalf("stamp %q does not lead with module, semver, and model fingerprint", s)
+	}
+	if version.Stamp() != s {
+		t.Error("stamp is not stable within a process")
+	}
+	fp := version.Fingerprint()
+	if len(fp) != 12 {
+		t.Errorf("fingerprint %q is not 12 hex chars", fp)
+	}
+	if !strings.Contains(s, fp) {
+		t.Errorf("stamp %q does not embed fingerprint %q", s, fp)
+	}
+}

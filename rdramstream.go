@@ -34,6 +34,8 @@
 package rdramstream
 
 import (
+	"context"
+
 	"rdramstream/internal/addrmap"
 	"rdramstream/internal/analytic"
 	"rdramstream/internal/cache"
@@ -45,6 +47,7 @@ import (
 	"rdramstream/internal/stream"
 	"rdramstream/internal/telemetry"
 	"rdramstream/internal/trace"
+	"rdramstream/internal/version"
 )
 
 // Core workload types, re-exported from the implementation packages so
@@ -122,6 +125,21 @@ func SimulateKernel(k *Kernel, sc Scenario) (Outcome, error) { return sim.RunKer
 // identical to running each scenario serially — parallelism is purely a
 // wall-clock optimization.
 func SimulateAll(scs []Scenario, workers int) ([]Outcome, error) { return sim.RunAll(scs, workers) }
+
+// SimulateAllCtx is SimulateAll with cancellation: once ctx is done no
+// further scenario starts and the sweep returns the context's error, while
+// scenarios already in flight complete. It is the entry point the serving
+// layer (internal/service, cmd/rdserved) threads request timeouts through.
+func SimulateAllCtx(ctx context.Context, scs []Scenario, workers int) ([]Outcome, error) {
+	return sim.RunAllCtx(ctx, scs, workers)
+}
+
+// Version is the build's identity stamp — module version plus a
+// fingerprint of the simulation model's fixed parameters. Every cmd
+// prints it for -version, and the serving layer's result cache embeds it
+// in cache keys so outcomes from a different model version never leak
+// across an upgrade.
+func Version() string { return version.Stamp() }
 
 // Controllers lists the names accepted by Scenario.Controller: the
 // registered access-ordering policies, including any added through the
