@@ -64,8 +64,9 @@ type Stats struct {
 	// a simulation.
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
-	// DiskHits counts misses rescued by the on-disk store (a subset of
-	// neither Hits nor Misses: disk hits are their own class).
+	// DiskHits counts lookups rescued by the on-disk store and promoted
+	// to memory. A Do rescued by disk also counts as a Hit, so DiskHits
+	// is a subset of Hits and disjoint from Misses.
 	DiskHits int64 `json:"disk_hits"`
 	// Dedups counts requests that piggybacked on an identical in-flight
 	// simulation instead of starting their own.
@@ -170,7 +171,9 @@ func Key(sc sim.Scenario) (string, error) {
 }
 
 // Get looks the scenario up in memory (and then on disk, promoting a find
-// to memory) without running anything. The boolean reports a hit.
+// to memory) without running anything. The boolean reports a hit. Get does
+// not touch the Hits/Misses counters — only Do does — though a disk rescue
+// still counts toward DiskHits inside lookup.
 func (c *Cache) Get(sc sim.Scenario) (sim.Outcome, bool, error) {
 	key, err := Key(sc)
 	if err != nil {
@@ -236,6 +239,21 @@ func (c *Cache) store(key string, out sim.Outcome, writeDisk bool) {
 // waiting on an in-flight identical simulation.
 var ErrCanceled = errors.New("resultcache: request canceled")
 
+// ErrPanic wraps a panic recovered from a runner. Like any other error it
+// is never cached, so a panicking scenario re-runs on the next request.
+var ErrPanic = errors.New("resultcache: simulation panicked")
+
+// safeRun executes run, converting a panic into an error so a panicking
+// scenario cannot unwind through Do past the flight bookkeeping.
+func safeRun(run Runner, sc sim.Scenario) (out sim.Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = sim.Outcome{}, fmt.Errorf("%w: %v", ErrPanic, r)
+		}
+	}()
+	return run(sc)
+}
+
 // Do returns the scenario's outcome, running it at most once: a memory or
 // disk hit answers immediately (hit=true); otherwise the first caller for
 // this key executes run (sim.Run when run is nil) and every concurrent
@@ -268,19 +286,40 @@ func (c *Cache) Do(ctx context.Context, sc sim.Scenario, run Runner) (sim.Outcom
 			return sim.Outcome{}, false, fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
 		}
 	}
+	// Re-check memory while still holding flightMu: another leader may
+	// have stored its outcome and retired its flight between our initial
+	// lookup miss and here. Only the in-memory map is consulted — the race
+	// being closed is with an in-process leader, which always stores to
+	// memory, and a disk read is too slow to hold flightMu across.
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		out := el.Value.(*entry).out
+		c.mu.Unlock()
+		c.flightMu.Unlock()
+		c.hits.Add(1)
+		return out, true, nil
+	}
+	c.mu.Unlock()
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[key] = fl
 	c.flightMu.Unlock()
 
+	// Retire the flight on every exit path — safeRun converts runner
+	// panics into fl.err, and this defer covers anything else that could
+	// unwind — so waiters are never left blocked on a dead flight.
+	defer func() {
+		c.flightMu.Lock()
+		delete(c.inflight, key)
+		c.flightMu.Unlock()
+		close(fl.done)
+	}()
+
 	c.misses.Add(1)
-	fl.out, fl.err = run(sc)
+	fl.out, fl.err = safeRun(run, sc)
 	if fl.err == nil {
 		c.store(key, fl.out, true)
 	}
-	c.flightMu.Lock()
-	delete(c.inflight, key)
-	c.flightMu.Unlock()
-	close(fl.done)
 	return fl.out, false, fl.err
 }
 

@@ -3,12 +3,14 @@ package resultcache
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"rdramstream/internal/addrmap"
 	"rdramstream/internal/fault"
@@ -283,6 +285,63 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 	}
 	if _, hit, _ := c3.Get(sc); hit {
 		t.Error("entry from a different version stamp was served")
+	}
+}
+
+func TestPanickingRunnerDoesNotStrandFlight(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scenario()
+
+	// Leader panics while followers are piggybacked on its flight: every
+	// caller must get ErrPanic — nobody hangs on a dead flight.
+	gate := make(chan struct{})
+	panicky := func(sim.Scenario) (sim.Outcome, error) {
+		<-gate
+		panic("boom")
+	}
+	const callers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	started := make(chan struct{}, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			_, _, errs[i] = c.Do(context.Background(), sc, panicky)
+		}()
+	}
+	for i := 0; i < callers; i++ {
+		<-started
+	}
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrPanic) {
+			t.Errorf("caller %d: err = %v, want ErrPanic", i, err)
+		}
+	}
+
+	// The key must not be poisoned: a fresh Do with a working runner runs
+	// immediately (no stranded flight to wait on) and succeeds.
+	direct, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out, hit, err := c.Do(ctx, sc, nil)
+	if err != nil {
+		t.Fatalf("Do after panic: %v", err)
+	}
+	if hit {
+		t.Error("panicked run was cached")
+	}
+	if !reflect.DeepEqual(out, direct) {
+		t.Errorf("outcome after panic differs from direct run")
 	}
 }
 

@@ -376,9 +376,9 @@ func (s *Service) dispatch() {
 			return struct{}{}, nil
 		})
 		if err != nil {
-			// Hard stop (Close deadline) or a panic that escaped runTask:
-			// everything in the batch that never reached a terminal state
-			// fails now, so no waiter hangs.
+			// Hard stop (Close deadline): runTask recovers its own panics,
+			// so this is cancellation. Everything in the batch that never
+			// reached a terminal state fails now, so no waiter hangs.
 			for _, t := range batch {
 				t.job.finish(t.i, ScenarioResult{Label: t.sc.Label(), Error: err.Error()})
 			}
@@ -414,6 +414,16 @@ func (s *Service) runTask(t *task) {
 	s.busy.Add(1)
 	defer s.busy.Add(-1)
 	defer s.tasksRun.Add(1)
+	// The cache already converts runner panics into errors; this recover
+	// is the backstop for panics outside the runner (key derivation,
+	// telemetry merge), so a batch carrying other jobs' work never dies
+	// with this task. finish is idempotent, so a task that already landed
+	// a result is unaffected.
+	defer func() {
+		if r := recover(); r != nil {
+			t.job.finish(t.i, ScenarioResult{Label: t.sc.Label(), Error: fmt.Sprintf("service: task panicked: %v", r)})
+		}
+	}()
 	t.job.markRunning()
 	if err := t.job.ctx.Err(); err != nil {
 		t.job.finish(t.i, ScenarioResult{Label: t.sc.Label(), Error: context.Cause(t.job.ctx).Error()})

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -72,6 +73,34 @@ func TestSubmitOneMatchesDirectRun(t *testing.T) {
 	}
 	if !reflect.DeepEqual(*res2.Outcome, direct) {
 		t.Error("cached outcome differs from direct sim.Run")
+	}
+}
+
+// TestRunTaskPanicLandsInScenarioResult pins the batch-isolation
+// guarantee: a panic anywhere in the task path becomes that scenario's
+// error instead of unwinding into engine.MapCtx, where it would fail the
+// whole coalesced batch (which can carry other jobs' scenarios).
+func TestRunTaskPanicLandsInScenarioResult(t *testing.T) {
+	s := newService(t, Config{Workers: 1})
+	job := &Job{
+		id: "job-panic", ctx: context.Background(), state: StateQueued,
+		results: make([]*ScenarioResult, 1),
+		ready:   []chan struct{}{make(chan struct{})},
+		done:    make(chan struct{}),
+	}
+	// A nil cache makes the first dereference inside runTask panic —
+	// standing in for any unexpected panic outside the cache's runner.
+	s.cache = nil
+	s.runTask(&task{job: job, i: 0, sc: scenario(64)})
+	res, err := job.WaitResult(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error == "" || !strings.Contains(res.Error, "panicked") {
+		t.Fatalf("result error = %q, want a recorded panic", res.Error)
+	}
+	if job.Status().State != StateDone {
+		t.Error("job did not reach a terminal state after the panic")
 	}
 }
 
