@@ -2,15 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-telemetry profile figures examples cover fuzz serve clean
+.PHONY: all build test vet lint bench bench-telemetry profile figures examples cover fuzz serve clean
 
-all: vet test build
+all: vet lint test build
 
 build:
 	$(GO) build ./...
 
 vet:
-	gofmt -l . && $(GO) vet ./...
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) vet ./...
+
+# Repo-specific static analysis (see docs/STATIC_ANALYSIS.md).
+lint:
+	$(GO) run ./cmd/rdlint ./...
 
 test:
 	$(GO) test ./...

@@ -130,21 +130,25 @@ func main() {
 		emit("ablation_scheduler", t)
 	}
 	if all || *extensions {
-		for name, gen := range map[string]func() (*experiments.Table, error){
-			"channel_scaling":         experiments.ChannelScaling,
-			"writeback_ablation":      experiments.WritebackAblation,
-			"refresh_ablation":        experiments.RefreshAblation,
-			"cache_conflict_ablation": experiments.CacheConflictAblation,
-			"crisp_efficiency":        experiments.CrispEfficiency,
-			"prior_fpm_system":        experiments.PriorSystem,
-			"policy_cross":            experiments.PolicyCross,
-			"fault_degradation":       func() (*experiments.Table, error) { return experiments.FaultSweep(42, nil) },
+		// A slice, not a map: emission order is part of the output.
+		for _, ext := range []struct {
+			name string
+			gen  func() (*experiments.Table, error)
+		}{
+			{"channel_scaling", experiments.ChannelScaling},
+			{"writeback_ablation", experiments.WritebackAblation},
+			{"refresh_ablation", experiments.RefreshAblation},
+			{"cache_conflict_ablation", experiments.CacheConflictAblation},
+			{"crisp_efficiency", experiments.CrispEfficiency},
+			{"prior_fpm_system", experiments.PriorSystem},
+			{"policy_cross", experiments.PolicyCross},
+			{"fault_degradation", func() (*experiments.Table, error) { return experiments.FaultSweep(42, nil) }},
 		} {
-			t, err := gen()
+			t, err := ext.gen()
 			if err != nil {
 				fatal(err)
 			}
-			emit(name, t)
+			emit(ext.name, t)
 		}
 	}
 	if all || *headline {

@@ -159,7 +159,12 @@ func printSummary(sc rdramstream.Scenario, out rdramstream.Outcome, col *rdramst
 	for name, v := range rep.Stalls {
 		stalls = append(stalls, kv{name, v})
 	}
-	sort.Slice(stalls, func(i, j int) bool { return stalls[i].v > stalls[j].v })
+	sort.Slice(stalls, func(i, j int) bool {
+		if stalls[i].v != stalls[j].v {
+			return stalls[i].v > stalls[j].v
+		}
+		return stalls[i].name < stalls[j].name // ties must not follow map order
+	})
 	fmt.Println("\nidle DATA-bus cycles by cause:")
 	for _, s := range stalls {
 		fmt.Printf("  %-12s %8d  (%5.1f%% of idle)\n", s.name, s.v, 100*float64(s.v)/float64(max(rep.IdleCycles, 1)))

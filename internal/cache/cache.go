@@ -11,12 +11,12 @@ import "fmt"
 // Config sizes the cache.
 type Config struct {
 	// SizeWords is the total capacity in 64-bit words.
-	SizeWords int
+	SizeWords int `json:"SizeWords"`
 	// LineWords is the cacheline size in 64-bit words.
-	LineWords int
+	LineWords int `json:"LineWords"`
 	// Ways is the associativity. 1 is direct-mapped; use Sets()==1 for a
 	// fully associative cache.
-	Ways int
+	Ways int `json:"Ways"`
 }
 
 // DefaultConfig returns a 16 KB direct-mapped cache with 32-byte lines —

@@ -34,32 +34,32 @@ import (
 // bandwidth figures identically for every policy.
 type Result struct {
 	// Cycles is the total simulated time in 400 MHz interface cycles.
-	Cycles int64
+	Cycles int64 `json:"Cycles"`
 	// UsefulWords is the number of stream elements the processor consumed
 	// or produced (iterations × streams).
-	UsefulWords int64
+	UsefulWords int64 `json:"UsefulWords"`
 	// TransferredWords counts every word moved on the data bus, useful or
 	// not (whole packets, whole cachelines).
-	TransferredWords int64
+	TransferredWords int64 `json:"TransferredWords"`
 	// PercentPeak is the effective bandwidth as a percentage of the
 	// device's peak, counting only useful words (the paper's Eq 5.1).
-	PercentPeak float64
+	PercentPeak float64 `json:"PercentPeak"`
 	// PercentAttainable rescales PercentPeak by the densest packet packing
 	// the access pattern permits (Figure 9's y-axis: non-unit strides can
 	// use at most one word of each two-word packet).
-	PercentAttainable float64
+	PercentAttainable float64 `json:"PercentAttainable"`
 	// EffectiveMBps is the useful data rate in MB/s (one cycle = 2.5 ns).
-	EffectiveMBps float64
+	EffectiveMBps float64 `json:"EffectiveMBps"`
 	// CPUStallCycles is the time the processor spent blocked on the
 	// controller (empty read FIFO or full write FIFO; zero for controllers
 	// without a decoupled front-end).
-	CPUStallCycles int64
+	CPUStallCycles int64 `json:"CPUStallCycles"`
 	// Device holds the device's operation counters.
-	Device rdram.Stats
+	Device rdram.Stats `json:"Device"`
 	// CacheHitRate and DirtyWritebacks are populated by controllers that
 	// model a real processor cache in front of the memory.
-	CacheHitRate    float64
-	DirtyWritebacks int64
+	CacheHitRate    float64 `json:"CacheHitRate"`
+	DirtyWritebacks int64   `json:"DirtyWritebacks"`
 }
 
 // nsPerCycle is the Direct RDRAM interface clock period (400 MHz).

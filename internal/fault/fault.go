@@ -36,36 +36,36 @@ import (
 type Config struct {
 	// Seed drives every random draw. Two runs with equal Configs produce
 	// identical fault sequences.
-	Seed int64
+	Seed int64 `json:"Seed"`
 
 	// RejectProb is the probability in [0,1] that any presented access is
 	// transiently rejected and must be retried by the controller.
-	RejectProb float64
+	RejectProb float64 `json:"RejectProb"`
 
 	// MaxJitter is the upper bound, in bus cycles, of the additive latency
 	// drawn per access on each of t_RCD, t_CAC and t_RP. The draw is
 	// uniform in [0, amp] where amp is MaxJitter scaled by the bank's
 	// amplitude profile, so MaxJitter = 0 disables jitter entirely.
-	MaxJitter int64
+	MaxJitter int64 `json:"MaxJitter"`
 
 	// StormEvery is the refresh-storm period: after every StormEvery
 	// normally-spaced refreshes, a burst begins. Zero disables storms.
-	StormEvery int64
+	StormEvery int64 `json:"StormEvery"`
 
 	// StormBurst is the number of refreshes in a storm burst (default 4
 	// when storms are enabled).
-	StormBurst int64
+	StormBurst int64 `json:"StormBurst"`
 
 	// StormGap is the inter-refresh gap, in cycles, during a burst
 	// (default: tRC-bound minimum spacing is the device's problem; we use
 	// 64 cycles, a near-back-to-back cadence).
-	StormGap int64
+	StormGap int64 `json:"StormGap"`
 
 	// RefreshBase, when non-zero, is the nominal refresh interval the
 	// device should run at if its own RefreshInterval is zero (refresh
 	// disabled). Storms are meaningless on a device that never refreshes,
 	// so sweeps use this to arm refresh before injecting storms.
-	RefreshBase int64
+	RefreshBase int64 `json:"RefreshBase"`
 }
 
 // Typed validation errors, comparable with errors.Is.

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// AllowEntry is one suppression. A diagnostic is covered when the
+// analyzer matches, the diagnostic's file path ends with Path, and the
+// message contains Match (an empty Match matches any message). Every
+// entry must carry a justification — the allowlist is the audited escape
+// hatch, not a mute button.
+type AllowEntry struct {
+	Analyzer string
+	// Path is a file-path suffix, e.g. "internal/fault/fault.go".
+	Path string
+	// Match is a substring of the diagnostic message; empty matches all.
+	Match string
+	// Justification is the required human explanation.
+	Justification string
+	// Line is the entry's own line number in the allowlist file.
+	Line int
+
+	used bool
+}
+
+// Allowlist is a parsed allowlist file. The zero value and nil both mean
+// "suppress nothing".
+type Allowlist struct {
+	entries []*AllowEntry
+}
+
+// ParseAllowlist parses the rdlint allowlist format: one entry per line,
+//
+//	analyzer path-suffix [message-substring] # justification
+//
+// Blank lines and lines starting with # are ignored. An entry without a
+// non-empty justification after # is an error: suppressions must say why.
+func ParseAllowlist(src, name string) (*Allowlist, error) {
+	al := &Allowlist{}
+	for i, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		body, just, found := strings.Cut(trimmed, "#")
+		if !found || strings.TrimSpace(just) == "" {
+			return nil, fmt.Errorf("%s:%d: allowlist entry needs a '# justification' comment", name, i+1)
+		}
+		fields := strings.Fields(body)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%s:%d: allowlist entry needs at least 'analyzer path-suffix'", name, i+1)
+		}
+		known := false
+		for _, a := range All() {
+			if a.Name == fields[0] {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("%s:%d: unknown analyzer %q in allowlist", name, i+1, fields[0])
+		}
+		al.entries = append(al.entries, &AllowEntry{
+			Analyzer:      fields[0],
+			Path:          fields[1],
+			Match:         strings.Join(fields[2:], " "),
+			Justification: strings.TrimSpace(just),
+			Line:          i + 1,
+		})
+	}
+	return al, nil
+}
+
+// LoadAllowlist reads and parses an allowlist file. A missing file is an
+// empty allowlist only when optional is set (the default path may simply
+// not exist); an explicitly named file must exist.
+func LoadAllowlist(path string, optional bool) (*Allowlist, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if optional && os.IsNotExist(err) {
+			return &Allowlist{}, nil
+		}
+		return nil, err
+	}
+	return ParseAllowlist(string(data), path)
+}
+
+// covers reports whether d is suppressed, marking the matching entry used.
+func (al *Allowlist) covers(d Diagnostic) bool {
+	if al == nil {
+		return false
+	}
+	for _, e := range al.entries {
+		if e.Analyzer != d.Analyzer {
+			continue
+		}
+		if !strings.HasSuffix(d.Pos.Filename, e.Path) {
+			continue
+		}
+		if e.Match != "" && !strings.Contains(d.Message, e.Match) {
+			continue
+		}
+		e.used = true
+		return true
+	}
+	return false
+}
+
+// stale returns the entries that suppressed nothing this run.
+func (al *Allowlist) stale() []AllowEntry {
+	if al == nil {
+		return nil
+	}
+	var out []AllowEntry
+	for _, e := range al.entries {
+		if !e.used {
+			out = append(out, *e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+package lint
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	runFixtureCases(t, Determinism, []fixtureCase{
+		{
+			name: "core package flags time, global rand, and env reads",
+			dirs: []string{"determinism"},
+		},
+		{
+			name: "non-core package may read the wall clock",
+			dirs: []string{"determinism/clock"},
+		},
+		{
+			name: "both together still only flag the core",
+			dirs: []string{"determinism", "determinism/clock"},
+		},
+	})
+}

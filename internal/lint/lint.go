@@ -1,0 +1,116 @@
+// Package lint is rdlint's engine: a stdlib-only static-analysis driver
+// (go/parser + go/types, no external dependencies) that loads every
+// package in the module and runs a suite of repo-specific analyzers. The
+// suite encodes the invariants the reproduction's headline numbers rest
+// on — bit-for-bit deterministic runs, exact stall-cause attribution, the
+// nil-safe probe contract, and a drift-proof wire format — so violations
+// are caught at lint time instead of surfacing as corrupted cache keys or
+// golden-test churn. See docs/STATIC_ANALYSIS.md for the catalogue.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a message. The driver fills Analyzer; analyzer Run functions only
+// set Pos and Message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one repo-specific check. Run receives every loaded package
+// at once — module-wide analyses (wiretag's reachability closure,
+// maprange's writer-function set) need the whole picture, and per-package
+// analyses simply iterate.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics, -run filters, and
+	// allowlist entries.
+	Name string
+	// Doc is a one-line description for usage output and docs.
+	Doc string
+	// Run reports findings over the loaded packages. Findings must be
+	// produced in a deterministic order (walk files, not maps).
+	Run func(pkgs []*Package) []Diagnostic
+}
+
+// All returns the full suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, MapRange, StallCauseCheck, NilProbe, WireTag}
+}
+
+// Select resolves a comma-separated analyzer list against All. An empty
+// list selects the full suite.
+func Select(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for _, k := range All() {
+				known = append(known, k.Name)
+			}
+			return nil, fmt.Errorf("lint: unknown analyzer %q (have %s)", n, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: -run selected no analyzers")
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the packages, suppresses findings the
+// allowlist covers, and returns the rest sorted by position. The second
+// result lists allowlist entries that matched nothing — stale entries the
+// caller should surface so the list stays tight. allow may be nil.
+func Run(pkgs []*Package, analyzers []*Analyzer, allow *Allowlist) ([]Diagnostic, []AllowEntry) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, d := range a.Run(pkgs) {
+			d.Analyzer = a.Name
+			if allow.covers(d) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, allow.stale()
+}
+
+// pos converts a node position for diagnostics.
+func (p *Package) pos(n ast.Node) token.Position { return p.Fset.Position(n.Pos()) }

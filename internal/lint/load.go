@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	// ImportPath is the package's module-qualified import path.
+	ImportPath string
+	// Dir is the absolute directory holding the sources.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Expand resolves CLI package patterns (interpreted relative to cwd) into
+// module-relative package directories, sorted and deduplicated. A pattern
+// ending in "/..." walks; other patterns name a single directory. Walks
+// skip testdata, vendor, and hidden directories — unless the walk base
+// itself lies inside a testdata tree, so the fixture packages can be
+// linted explicitly (CI runs the suite over them expecting findings).
+func Expand(root, cwd string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(abs string) error {
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return fmt.Errorf("lint: %s is outside module root %s", abs, root)
+		}
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		base, walk := pat, false
+		if b, ok := strings.CutSuffix(pat, "/..."); ok {
+			base, walk = b, true
+			if base == "" || base == "." {
+				base = "."
+			}
+		}
+		abs := base
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, base)
+		}
+		if fi, err := os.Stat(abs); err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q: %s is not a directory", pat, abs)
+		}
+		if !walk {
+			if !hasGoFiles(abs) {
+				return nil, fmt.Errorf("lint: no Go files in %s", abs)
+			}
+			if err := add(abs); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		insideTestdata := strings.Contains(abs+string(filepath.Separator), string(filepath.Separator)+"testdata"+string(filepath.Separator))
+		err := filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != abs && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if path != abs && name == "testdata" && !insideTestdata {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				return add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && analyzable(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzable reports whether a file name is part of the package under
+// analysis. Test files are excluded: the invariants guard the simulator
+// and its tools, and goldens pin the tests' own behaviour.
+func analyzable(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// loader type-checks module packages on demand. Imports inside the module
+// resolve by a path prefix mapping (no `go list` subprocess); imports
+// outside it (the standard library) resolve through the "source"
+// compiler importer, which type-checks from $GOROOT/src.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // import path -> loaded module package
+	loading map[string]bool
+}
+
+// Load parses and type-checks the packages at the given module-relative
+// directories (plus, transitively, every module package they import) and
+// returns the requested ones sorted by import path.
+func Load(root, modPath string, dirs []string) ([]*Package, error) {
+	// The source importer consults go/build's default context; with cgo
+	// disabled it selects the pure-Go variants of net and friends, so the
+	// whole load is parse-and-typecheck with no C toolchain involved.
+	build.Default.CgoEnabled = false
+	l := &loader{
+		fset:    token.NewFileSet(),
+		root:    root,
+		modPath: modPath,
+		std:     importer.ForCompiler(token.NewFileSet(), "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		p, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// importPathFor maps a module-relative directory to its import path.
+func (l *loader) importPathFor(rel string) string {
+	if rel == "." || rel == "" {
+		return l.modPath
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel)
+}
+
+// Import implements types.Importer for the type-checker: module-local
+// paths load from their directory, everything else defers to the source
+// importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		rel := "."
+		if path != l.modPath {
+			rel = filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/"))
+		}
+		p, err := l.loadDir(rel)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, l.root, 0)
+}
+
+// loadDir parses and type-checks one module package by its
+// module-relative directory, caching by import path.
+func (l *loader) loadDir(rel string) (*Package, error) {
+	ipath := l.importPathFor(rel)
+	if p, ok := l.pkgs[ipath]; ok {
+		return p, nil
+	}
+	if l.loading[ipath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", ipath)
+	}
+	l.loading[ipath] = true
+	defer delete(l.loading, ipath)
+
+	dir := filepath.Join(l.root, rel)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !analyzable(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(ipath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", ipath, err)
+	}
+	p := &Package{
+		ImportPath: ipath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[ipath] = p
+	return p, nil
+}

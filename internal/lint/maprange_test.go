@@ -1,0 +1,12 @@
+package lint
+
+import "testing"
+
+func TestMapRange(t *testing.T) {
+	runFixtureCases(t, MapRange, []fixtureCase{
+		{
+			name: "order leaks flagged, sorted and keyed idioms clean",
+			dirs: []string{"maprange"},
+		},
+	})
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// NilProbe enforces the telemetry layer's nil-safety contract: the
+// simulators instrument unconditionally and an uninstrumented run passes
+// nil probes everywhere, so every exported pointer-receiver method on a
+// probe/observer type must begin with a nil-receiver guard. A method that
+// skips the guard turns "telemetry off" into a crash on the hot path.
+// The syntactic check is backstopped at runtime by
+// internal/telemetry's nil-receiver reflection test.
+var NilProbe = &Analyzer{
+	Name: "nilprobe",
+	Doc:  "require nil-receiver guards on exported telemetry probe methods",
+	Run:  runNilProbe,
+}
+
+// probeTypeNames are the non-"*Probe" telemetry types bound by the
+// contract (package telemetry documents all of them as nil-safe).
+var probeTypeNames = map[string]bool{
+	"Collector":   true,
+	"EventBuffer": true,
+	"Series":      true,
+	"Histogram":   true,
+}
+
+// isProbeType reports whether a type name in a telemetry package is
+// covered by the nil-safety contract.
+func isProbeType(name string) bool {
+	return strings.HasSuffix(name, "Probe") || probeTypeNames[name]
+}
+
+func runNilProbe(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		if p.Types.Name() != "telemetry" {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+					continue
+				}
+				recvName, typeName, isPtr := receiver(fd)
+				if !isPtr || !isProbeType(typeName) {
+					continue
+				}
+				if recvName == "" || recvName == "_" {
+					diags = append(diags, Diagnostic{
+						Pos:     p.pos(fd),
+						Message: fmt.Sprintf("method (*%s).%s has an unnamed receiver and cannot guard against nil; name it and add the guard", typeName, fd.Name.Name),
+					})
+					continue
+				}
+				if !beginsWithNilGuard(fd.Body, recvName) {
+					diags = append(diags, Diagnostic{
+						Pos: p.pos(fd),
+						Message: fmt.Sprintf("exported method (*%s).%s must begin with `if %s == nil { return … }` — probes are documented nil-safe and the simulators call them unconditionally",
+							typeName, fd.Name.Name, recvName),
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// receiver extracts the receiver name, base type name, and pointer-ness.
+func receiver(fd *ast.FuncDecl) (name, typeName string, isPtr bool) {
+	if len(fd.Recv.List) != 1 {
+		return "", "", false
+	}
+	field := fd.Recv.List[0]
+	star, ok := field.Type.(*ast.StarExpr)
+	if !ok {
+		return "", "", false
+	}
+	base := star.X
+	if idx, ok := base.(*ast.IndexExpr); ok { // generic receiver
+		base = idx.X
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	if len(field.Names) == 1 {
+		name = field.Names[0].Name
+	}
+	return name, id.Name, true
+}
+
+// beginsWithNilGuard reports whether the body's first statement is an if
+// whose condition tests the receiver against nil (alone or as an ||
+// operand) and whose block ends in a return.
+func beginsWithNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	if !condTestsNil(ifStmt.Cond, recvName) {
+		return false
+	}
+	if len(ifStmt.Body.List) == 0 {
+		return false
+	}
+	_, isReturn := ifStmt.Body.List[len(ifStmt.Body.List)-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// condTestsNil reports whether cond contains `recv == nil` at the top
+// level of an || chain.
+func condTestsNil(cond ast.Expr, recvName string) bool {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return condTestsNil(e.X, recvName)
+	case *ast.BinaryExpr:
+		if e.Op == token.LOR {
+			return condTestsNil(e.X, recvName) || condTestsNil(e.Y, recvName)
+		}
+		if e.Op != token.EQL {
+			return false
+		}
+		return isIdentNamed(e.X, recvName) && isNil(e.Y) || isNil(e.X) && isIdentNamed(e.Y, recvName)
+	}
+	return false
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,12 @@
+package lint
+
+import "testing"
+
+func TestNilProbe(t *testing.T) {
+	runFixtureCases(t, NilProbe, []fixtureCase{
+		{
+			name: "unguarded and unnamed-receiver probe methods flagged, guarded and out-of-contract clean",
+			dirs: []string{"nilprobe"},
+		},
+	})
+}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// StallCauseCheck keeps the stall-cause taxonomy in lockstep with the
+// code that consumes it. The attribution invariant — per-cause totals sum
+// exactly to Cycles − DataBusBusy, checked at runtime for every kernel ×
+// scheme × controller combination — only stays meaningful if adding a
+// cause updates every consumer. Two syntactic guarantees enforce that:
+// every switch over a StallCause must be exhaustive (or carry a default),
+// and every array literal sized by NumStallCauses must populate all
+// indices, so a name table like telemetry.stallNames cannot silently gain
+// an empty slot.
+var StallCauseCheck = &Analyzer{
+	Name: "stallcause",
+	Doc:  "require exhaustive StallCause switches and fully populated NumStallCauses arrays",
+	Run:  runStallCause,
+}
+
+const (
+	stallCauseType = "StallCause"
+	numStallCauses = "NumStallCauses"
+)
+
+func runStallCause(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SwitchStmt:
+					if d, ok := checkStallSwitch(p, n); ok {
+						diags = append(diags, d)
+					}
+				case *ast.CompositeLit:
+					if d, ok := checkStallArray(p, n); ok {
+						diags = append(diags, d)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// stallCausePkg returns the package defining the named StallCause type
+// behind t, or nil if t is not a StallCause.
+func stallCausePkg(t types.Type) *types.Package {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != stallCauseType {
+		return nil
+	}
+	return named.Obj().Pkg()
+}
+
+// numCauses looks up the NumStallCauses constant in scope.
+func numCauses(scope *types.Scope) (int64, bool) {
+	c, ok := scope.Lookup(numStallCauses).(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(c.Val()))
+}
+
+// causeNames returns the names of the StallCause constants with the given
+// values, in value order, from the defining package's scope.
+func causeNames(scope *types.Scope, values []int64) []string {
+	byVal := make(map[int64]string)
+	for _, name := range scope.Names() { // Names is sorted: deterministic
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || name == numStallCauses {
+			continue
+		}
+		if sp := stallCausePkg(c.Type()); sp == nil {
+			continue
+		}
+		v, _ := constant.Int64Val(constant.ToInt(c.Val()))
+		if _, taken := byVal[v]; !taken {
+			byVal[v] = name
+		}
+	}
+	out := make([]string, 0, len(values))
+	for _, v := range values {
+		if name, ok := byVal[v]; ok {
+			out = append(out, name)
+		} else {
+			out = append(out, fmt.Sprintf("%s(%d)", stallCauseType, v))
+		}
+	}
+	return out
+}
+
+// checkStallSwitch verifies one switch over a StallCause tag.
+func checkStallSwitch(p *Package, s *ast.SwitchStmt) (Diagnostic, bool) {
+	if s.Tag == nil {
+		return Diagnostic{}, false
+	}
+	tagType := p.Info.TypeOf(s.Tag)
+	if tagType == nil {
+		return Diagnostic{}, false
+	}
+	defPkg := stallCausePkg(tagType)
+	if defPkg == nil {
+		return Diagnostic{}, false
+	}
+	n, ok := numCauses(defPkg.Scope())
+	if !ok {
+		return Diagnostic{}, false
+	}
+	covered := make(map[int64]bool)
+	for _, stmt := range s.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return Diagnostic{}, false // default clause: always safe
+		}
+		for _, expr := range clause.List {
+			tv, ok := p.Info.Types[expr]
+			if !ok || tv.Value == nil {
+				continue // non-constant case: cannot prove coverage from it
+			}
+			v, _ := constant.Int64Val(constant.ToInt(tv.Value))
+			covered[v] = true
+		}
+	}
+	var missing []int64
+	for v := int64(0); v < n; v++ {
+		if !covered[v] {
+			missing = append(missing, v)
+		}
+	}
+	if len(missing) == 0 {
+		return Diagnostic{}, false
+	}
+	return Diagnostic{
+		Pos: p.pos(s),
+		Message: fmt.Sprintf("switch over %s has no default and misses %s; cover every cause or add a default so new causes cannot fall through silently",
+			stallCauseType, strings.Join(causeNames(defPkg.Scope(), missing), ", ")),
+	}, true
+}
+
+// checkStallArray verifies a non-empty array literal whose length is
+// spelled NumStallCauses populates every index. The empty literal is the
+// type's zero value and stays legal.
+func checkStallArray(p *Package, lit *ast.CompositeLit) (Diagnostic, bool) {
+	at, ok := lit.Type.(*ast.ArrayType)
+	if !ok || at.Len == nil || len(lit.Elts) == 0 {
+		return Diagnostic{}, false
+	}
+	if !mentionsIdent(at.Len, numStallCauses) {
+		return Diagnostic{}, false
+	}
+	tv, ok := p.Info.Types[at.Len]
+	if !ok || tv.Value == nil {
+		return Diagnostic{}, false
+	}
+	n, _ := constant.Int64Val(constant.ToInt(tv.Value))
+	filled := make(map[int64]bool)
+	next := int64(0)
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			ktv, ok := p.Info.Types[kv.Key]
+			if !ok || ktv.Value == nil {
+				return Diagnostic{}, false // dynamic key: out of scope
+			}
+			next, _ = constant.Int64Val(constant.ToInt(ktv.Value))
+		}
+		filled[next] = true
+		next++
+	}
+	var missing []int64
+	for v := int64(0); v < n; v++ {
+		if !filled[v] {
+			missing = append(missing, v)
+		}
+	}
+	if len(missing) == 0 {
+		return Diagnostic{}, false
+	}
+	msg := fmt.Sprintf("array sized by %s populates %d of %d entries", numStallCauses, int64(len(filled)), n)
+	if defPkg := stallCauseElemPkg(p, lit); defPkg != nil {
+		msg += " (missing " + strings.Join(causeNames(defPkg.Scope(), missing), ", ") + ")"
+	}
+	return Diagnostic{
+		Pos:     p.pos(lit),
+		Message: msg + "; a new cause must get an entry here",
+	}, true
+}
+
+// stallCauseElemPkg finds the package defining StallCause next to the
+// NumStallCauses identifier used in the literal's length, for naming the
+// missing entries.
+func stallCauseElemPkg(p *Package, lit *ast.CompositeLit) *types.Package {
+	at := lit.Type.(*ast.ArrayType)
+	var pkg *types.Package
+	ast.Inspect(at.Len, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != numStallCauses {
+			return true
+		}
+		if obj := p.Info.Uses[id]; obj != nil && obj.Pkg() != nil {
+			pkg = obj.Pkg()
+			return false
+		}
+		return true
+	})
+	return pkg
+}
+
+// mentionsIdent reports whether expr contains an identifier named name.
+func mentionsIdent(expr ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

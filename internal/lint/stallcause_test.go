@@ -1,0 +1,12 @@
+package lint
+
+import "testing"
+
+func TestStallCause(t *testing.T) {
+	runFixtureCases(t, StallCauseCheck, []fixtureCase{
+		{
+			name: "partial switch and sparse array flagged, exhaustive and defaulted clean",
+			dirs: []string{"stallcause"},
+		},
+	})
+}

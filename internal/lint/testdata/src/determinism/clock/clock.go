@@ -1,0 +1,10 @@
+// Package clock is a lint fixture: it is NOT a simulation-core package,
+// so wall-clock reads here are legal and must not be flagged.
+package clock
+
+import "time"
+
+// Stamp may read the wall clock: tools outside the core are allowed to.
+func Stamp() time.Time {
+	return time.Now()
+}

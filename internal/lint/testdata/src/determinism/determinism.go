@@ -1,0 +1,34 @@
+// Package rdram is a lint fixture: it borrows a simulation-core package
+// name so the determinism analyzer applies, and seeds one violation per
+// banned source of nondeterminism next to the legal seeded-RNG idiom.
+package rdram
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Elapsed reads the wall clock, which the core must never do.
+func Elapsed(start time.Time) float64 {
+	now := time.Now() // want "time.Now in simulation core"
+	return now.Sub(start).Seconds()
+}
+
+// Jitter draws from the shared global generator.
+func Jitter() int {
+	return rand.Intn(4) // want "global math/rand.Intn"
+}
+
+// Tuned lets the host environment leak into the simulation.
+func Tuned() string {
+	return os.Getenv("RDRAM_TUNING") // want "os.Getenv in simulation core"
+}
+
+// SeededDraws is the required idiom: an explicitly seeded generator whose
+// draws are a pure function of the seed. Nothing here is flagged — the
+// constructors are allowed and Intn is a method on the local generator.
+func SeededDraws(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(4)
+}

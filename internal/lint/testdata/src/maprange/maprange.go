@@ -1,0 +1,78 @@
+// Package maprange is a lint fixture: each function either leaks Go's
+// randomized map iteration order into an ordered artifact (flagged) or
+// follows an order-independent idiom (clean).
+package maprange
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Names returns the keys in randomized map order.
+func Names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to \"out\" inside map iteration"
+	}
+	return out
+}
+
+// SortedNames is the blessed collect-then-sort idiom: the append is
+// followed by a sort over the same slice, so order cannot leak.
+func SortedNames(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Key builds a cache-key string in map order.
+func Key(m map[string]int) string {
+	key := ""
+	for k, v := range m {
+		key += fmt.Sprintf("%s=%d;", k, v) // want "string built with +="
+	}
+	return key
+}
+
+// Dump writes output directly in map order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside map iteration"
+	}
+}
+
+// DumpVia hides the write behind a helper; the transitive writer set
+// still catches it.
+func DumpVia(m map[string]int) {
+	for k, v := range m {
+		emit(k, v) // want "emit inside map iteration"
+	}
+}
+
+func emit(k string, v int) {
+	fmt.Printf("%s,%d\n", k, v)
+}
+
+// Group writes into keyed slots of another map: order-independent.
+func Group(m map[string]int) map[int][]string {
+	groups := make(map[int][]string)
+	for k, v := range m {
+		groups[v] = append(groups[v], k)
+	}
+	return groups
+}
+
+// PerIter appends only to a slice scoped to one iteration, so iteration
+// order cannot escape the loop body.
+func PerIter(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

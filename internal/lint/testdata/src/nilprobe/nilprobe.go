@@ -1,0 +1,58 @@
+// Package telemetry is a lint fixture: it borrows the telemetry package
+// name so the nil-probe contract applies, and mixes guarded, unguarded,
+// and out-of-contract methods.
+package telemetry
+
+// BusProbe is nil-safe by contract (the *Probe suffix binds it).
+type BusProbe struct {
+	hits int64
+}
+
+// Hit starts with the canonical guard: clean.
+func (p *BusProbe) Hit() {
+	if p == nil {
+		return
+	}
+	p.hits++
+}
+
+// Count skips the guard.
+func (p *BusProbe) Count() int64 { // want "must begin with `if p == nil"
+	return p.hits
+}
+
+// reset is unexported and outside the contract: clean.
+func (p *BusProbe) reset() { p.hits = 0 }
+
+// Collector is bound by its well-known name, not the suffix.
+type Collector struct {
+	n int
+}
+
+// Total guards with an || chain: clean.
+func (c *Collector) Total() int {
+	if c == nil || c.n < 0 {
+		return 0
+	}
+	return c.n
+}
+
+// Bump cannot even name its receiver, let alone guard it.
+func (*Collector) Bump() {} // want "unnamed receiver"
+
+// Label has a value receiver; a nil pointer cannot reach it: clean.
+type Label struct {
+	text string
+}
+
+// Text is on a value receiver of a non-probe type: clean.
+func (l Label) Text() string { return l.text }
+
+// registry is unexported and not probe-shaped, so its methods may assume
+// a live receiver: clean.
+type registry struct {
+	m map[string]int
+}
+
+// Add is exported but the type is out of contract: clean.
+func (r *registry) Add(k string) { r.m[k]++ }

@@ -1,0 +1,64 @@
+// Package stallcause is a lint fixture: a miniature copy of the
+// telemetry stall-cause taxonomy with exhaustive and non-exhaustive
+// consumers of it.
+package stallcause
+
+// StallCause mirrors the telemetry enum shape the analyzer keys on.
+type StallCause int
+
+// The taxonomy. NumStallCauses is the open end: adding a cause above it
+// must force every consumer below to change.
+const (
+	StallNone StallCause = iota
+	StallRead
+	StallWrite
+	NumStallCauses
+)
+
+// names populates every index: clean.
+var names = [NumStallCauses]string{"none", "read", "write"}
+
+// sparse fills only index 1 and leaves holes at 0 and 2.
+var sparse = [NumStallCauses]string{StallRead: "read"} // want "populates 1 of 3 entries"
+
+// zeroed is the type's zero value; an empty literal stays legal.
+var zeroed = [NumStallCauses]int64{}
+
+// Describe covers every cause: clean.
+func Describe(c StallCause) string {
+	switch c {
+	case StallNone:
+		return "none"
+	case StallRead:
+		return "read"
+	case StallWrite:
+		return "write"
+	}
+	return "?"
+}
+
+// Classify is partial but carries a default: clean.
+func Classify(c StallCause) int {
+	switch c {
+	case StallRead:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Penalty misses StallWrite and has no default.
+func Penalty(c StallCause) int {
+	switch c { // want "misses StallWrite"
+	case StallNone:
+		return 0
+	case StallRead:
+		return 2
+	}
+	return 1
+}
+
+// use keeps the package-level fixtures referenced.
+func use() (string, string, int64) { return names[0], sparse[1], zeroed[2] }
+
+var _ = use

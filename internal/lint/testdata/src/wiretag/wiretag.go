@@ -1,0 +1,57 @@
+// Package sim is a lint fixture: it borrows the sim package name so the
+// Scenario root applies, and exercises the closure walk, the observer
+// rule, the rdlint:wire marker, and the embedded-field exemption.
+package sim
+
+// Scenario is a wire-format root by (package, type) name.
+type Scenario struct {
+	KernelName string             `json:"KernelName"`
+	Stride     int                // want "exported field Scenario.Stride of wire-format struct has no explicit json tag"
+	Telemetry  func()             `json:"-"`
+	Trace      func(addr uint64)  // want "field Scenario.Trace has func type"
+	Device     DeviceConfig       `json:"Device"`
+	Workers    map[string]*Worker `json:"Workers"`
+	notes      string
+}
+
+// DeviceConfig is pulled onto the wire through Scenario.Device.
+type DeviceConfig struct {
+	Banks int // want "exported field DeviceConfig.Banks of wire-format struct has no explicit json tag"
+}
+
+// Worker is pulled onto the wire through a map value behind a pointer.
+type Worker struct {
+	ID string `json:"ID"`
+}
+
+// Sidecar opts in explicitly.
+//
+// rdlint:wire
+type Sidecar struct {
+	Label string // want "exported field Sidecar.Label of wire-format struct has no explicit json tag"
+}
+
+// Base rides the wire embedded in Wrapped; its own fields are checked
+// but the embedding itself needs no tag.
+type Base struct {
+	ID string `json:"ID"`
+}
+
+// Wrapped embeds Base.
+//
+// rdlint:wire
+type Wrapped struct {
+	Base
+	Extra int `json:"Extra"`
+}
+
+// offWire is unexported, unmarked, and referenced by nothing on the
+// wire: its bare fields are fine.
+type offWire struct {
+	Cursor int
+}
+
+// use keeps offWire referenced.
+func use(o offWire) int { return o.Cursor }
+
+var _ = use

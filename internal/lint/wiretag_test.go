@@ -1,0 +1,12 @@
+package lint
+
+import "testing"
+
+func TestWireTag(t *testing.T) {
+	runFixtureCases(t, WireTag, []fixtureCase{
+		{
+			name: "untagged fields on roots, closure members, marked structs, and bare observers flagged",
+			dirs: []string{"wiretag"},
+		},
+	})
+}

@@ -13,21 +13,21 @@ import "fmt"
 type Geometry struct {
 	// Banks is the total number of banks addressable on the channel
 	// (banks per device × DevicesOnChannel).
-	Banks int
+	Banks int `json:"Banks"`
 	// PageWords is the number of 64-bit words per DRAM page (sense-amp row).
-	PageWords int
+	PageWords int `json:"PageWords"`
 	// PagesPerBank is the number of rows in each bank.
-	PagesPerBank int
+	PagesPerBank int `json:"PagesPerBank"`
 	// DoubleBank, when true, forbids adjacent banks (2k, 2k+1 pairs sharing
 	// sense amps) from being open at the same time.
-	DoubleBank bool
+	DoubleBank bool `json:"DoubleBank"`
 	// DevicesOnChannel models a Rambus channel populated with several
 	// RDRAM chips sharing the ROW/COL/DATA buses. Device-local constraints
 	// — the t_RR spacing between ROW ACT packets and the write-buffer
 	// retire before a read — apply within each device only; bus occupancy
 	// and the read/write turnaround remain channel-global. Zero or one
 	// means a single device, as in the paper's evaluation.
-	DevicesOnChannel int
+	DevicesOnChannel int `json:"DevicesOnChannel"`
 }
 
 // DefaultGeometry returns the organization used throughout the paper's
@@ -96,13 +96,13 @@ func (g Geometry) adjacent(b int) []int {
 
 // Config bundles the timing and geometry of one device.
 type Config struct {
-	Timing   Timing
-	Geometry Geometry
+	Timing   Timing   `json:"Timing"`
+	Geometry Geometry `json:"Geometry"`
 	// RefreshInterval, when positive, inserts a refresh operation (an
 	// activate/precharge pair that steals the row bus and blocks one bank)
 	// every RefreshInterval cycles, cycling through the banks. The paper's
 	// models ignore refresh; this is an ablation knob and defaults to off.
-	RefreshInterval int64
+	RefreshInterval int64 `json:"RefreshInterval"`
 }
 
 // DefaultConfig returns the paper's device: -50/-800 timing, eight banks,

@@ -5,19 +5,19 @@ import "fmt"
 // Stats counts device operations and data-bus occupancy. All counters are
 // monotone over a simulation.
 type Stats struct {
-	Activates     int64
-	Precharges    int64
-	Reads         int64 // DATA packets read
-	Writes        int64 // DATA packets written
-	PageHits      int64
-	PageMisses    int64
-	PageConflicts int64 // misses that first had to close another row
-	Retires       int64 // COL RET packets inserted before reads
-	Refreshes     int64
-	DataBusBusy   int64 // cycles the DATA bus carried packets
-	LastDataEnd   int64 // cycle after the final DATA packet
-	Rejections    int64 // accesses refused by the fault injector
-	JitterCycles  int64 // extra latency cycles added by fault injection
+	Activates     int64 `json:"Activates"`
+	Precharges    int64 `json:"Precharges"`
+	Reads         int64 `json:"Reads"`  // DATA packets read
+	Writes        int64 `json:"Writes"` // DATA packets written
+	PageHits      int64 `json:"PageHits"`
+	PageMisses    int64 `json:"PageMisses"`
+	PageConflicts int64 `json:"PageConflicts"` // misses that first had to close another row
+	Retires       int64 `json:"Retires"`       // COL RET packets inserted before reads
+	Refreshes     int64 `json:"Refreshes"`
+	DataBusBusy   int64 `json:"DataBusBusy"`  // cycles the DATA bus carried packets
+	LastDataEnd   int64 `json:"LastDataEnd"`  // cycle after the final DATA packet
+	Rejections    int64 `json:"Rejections"`   // accesses refused by the fault injector
+	JitterCycles  int64 `json:"JitterCycles"` // extra latency cycles added by fault injection
 }
 
 // PacketCount is the total number of DATA packets transferred.

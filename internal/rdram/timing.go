@@ -27,37 +27,37 @@ const MaxOutstanding = 4
 // cycles. The field names follow the paper's Figure 2.
 type Timing struct {
 	// TPack is the transfer time of one command or data packet (t_PACK).
-	TPack int
+	TPack int `json:"TPack"`
 	// TRCD is the minimum interval between a ROW ACT packet and the first
 	// COL packet to that bank (t_RCD).
-	TRCD int
+	TRCD int `json:"TRCD"`
 	// TRP is the page precharge time: minimum interval between a ROW PRER
 	// packet and the next ROW ACT packet to the same bank (t_RP).
-	TRP int
+	TRP int `json:"TRP"`
 	// TCPOL is the maximum overlap between the last COL packet of a burst
 	// and the start of the ROW PRER packet (t_CPOL).
-	TCPOL int
+	TCPOL int `json:"TCPOL"`
 	// TCAC is the page-hit latency: delay between the start of a COL RD
 	// packet and valid data (t_CAC).
-	TCAC int
+	TCAC int `json:"TCAC"`
 	// TRC is the page-miss cycle time: minimum interval between successive
 	// ROW ACT packets to the same bank (t_RC).
-	TRC int
+	TRC int `json:"TRC"`
 	// TRR is the minimum delay between consecutive ROW ACT packets to the
 	// same RDRAM device (t_RR).
-	TRR int
+	TRR int `json:"TRR"`
 	// TRDLY is the round-trip bus delay added to read page-hit times
 	// because the DATA packet travels opposite to the command (t_RDLY).
-	TRDLY int
+	TRDLY int `json:"TRDLY"`
 	// TRW is the read/write bus turnaround: the interval that must separate
 	// the end of a write DATA packet from the start of a read DATA packet
 	// (t_RW = t_PACK + t_RDLY). Writes after reads need no turnaround.
-	TRW int
+	TRW int `json:"TRW"`
 	// TCWD is the delay between the start of a COL WR packet and the start
 	// of its write DATA packet. The paper does not state it explicitly; we
 	// use 3 cycles (≈ the Direct RDRAM write delay), documented in
 	// DESIGN.md §3.
-	TCWD int
+	TCWD int `json:"TCWD"`
 }
 
 // DefaultTiming returns the timing parameters of the Min -50 -800 Direct

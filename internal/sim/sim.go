@@ -48,54 +48,54 @@ func (m Mode) String() string {
 // Scenario describes one simulation.
 type Scenario struct {
 	// KernelName selects a benchmark from stream.Benchmarks.
-	KernelName string
+	KernelName string `json:"KernelName"`
 	// N is the stream length in elements; Stride the element stride in
 	// 64-bit words.
-	N      int
-	Stride int64
+	N      int   `json:"N"`
+	Stride int64 `json:"Stride"`
 
-	Scheme    addrmap.Scheme
-	Placement stream.Placement
-	Mode      Mode
+	Scheme    addrmap.Scheme   `json:"Scheme"`
+	Placement stream.Placement `json:"Placement"`
+	Mode      Mode             `json:"Mode"`
 	// Controller, when non-empty, selects a controller from the engine
 	// registry by name (see Controllers) and overrides Mode. Mode remains
 	// the stable API for the paper's two systems; named dispatch is the
 	// extension point for registered policies like "conventional".
-	Controller string
+	Controller string `json:"Controller"`
 
 	// LineWords is the cacheline size (defaults to 4 = 32 bytes).
-	LineWords int
+	LineWords int `json:"LineWords"`
 	// FIFODepth is the SBU depth for SMC mode (defaults to 32).
-	FIFODepth int
+	FIFODepth int `json:"FIFODepth"`
 	// Policy is the MSU scheduling policy for SMC mode.
-	Policy smc.Policy
+	Policy smc.Policy `json:"Policy"`
 	// SpeculateActivate enables the SMC's page-crossing extension.
-	SpeculateActivate bool
+	SpeculateActivate bool `json:"SpeculateActivate"`
 	// WriteAllocate enables the natural-order controller's
 	// fetch-on-store-miss ablation.
-	WriteAllocate bool
+	WriteAllocate bool `json:"WriteAllocate"`
 	// Cache, when non-nil, puts a real set-associative write-back cache in
 	// front of the natural-order controller (conflict misses and dirty
 	// writebacks modeled). Ignored in SMC mode, which bypasses the cache
 	// by design.
-	Cache *cache.Config
+	Cache *cache.Config `json:"Cache"`
 
 	// Device overrides the device configuration (zero value = paper's
 	// default part).
-	Device rdram.Config
+	Device rdram.Config `json:"Device"`
 	// Fault, when non-nil and active, attaches a deterministic fault
 	// injector to the device (see internal/fault): refresh storms, per-bank
 	// latency jitter, and transient rejections. A nil or inactive config
 	// (fault.Scaled(seed, 0)) is bit-identical to a fault-free run.
-	Fault *fault.Config
+	Fault *fault.Config `json:"Fault"`
 	// WatchdogLimit bounds controller forward progress in cycles (0 =
 	// engine.DefaultWatchdogLimit): a run that retires no useful word for
 	// this long aborts with a *engine.WatchdogError instead of hanging.
-	WatchdogLimit int64
+	WatchdogLimit int64 `json:"WatchdogLimit"`
 	// Seed drives the data pattern used to initialize the vectors.
-	Seed int64
+	Seed int64 `json:"Seed"`
 	// SkipVerify disables the post-run functional check (for benchmarks).
-	SkipVerify bool
+	SkipVerify bool `json:"SkipVerify"`
 
 	// Telemetry, when non-nil, instruments the run: per-bank device
 	// counters, per-window bus occupancy and bandwidth, stall-cause
@@ -240,7 +240,7 @@ type Outcome struct {
 	engine.Result
 	// Verified is true when the final memory image matched the kernel's
 	// golden execution.
-	Verified bool
+	Verified bool `json:"Verified"`
 }
 
 // Controllers lists the names accepted by Scenario.Controller, sorted.

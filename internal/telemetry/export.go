@@ -109,6 +109,9 @@ func (c *Collector) Report() *Report {
 
 // WriteMetricsJSON writes the report as indented JSON.
 func (c *Collector) WriteMetricsJSON(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(c.Report())

@@ -1,0 +1,70 @@
+package telemetry_test
+
+import (
+	"reflect"
+	"testing"
+
+	"rdramstream/internal/telemetry"
+)
+
+// TestNilProbeMethodsDoNotPanic is the runtime backstop for rdlint's
+// nilprobe analyzer: the simulators instrument unconditionally and an
+// uninstrumented run passes nil probes everywhere, so every exported
+// pointer-receiver method on every probe type must tolerate a nil
+// receiver. The static check proves the guard is present; this test
+// proves the guard works, by calling each method through a typed nil
+// with zero-valued arguments.
+func TestNilProbeMethodsDoNotPanic(t *testing.T) {
+	targets := []any{
+		(*telemetry.Collector)(nil),
+		(*telemetry.DeviceProbe)(nil),
+		(*telemetry.ControllerProbe)(nil),
+		(*telemetry.FIFOProbe)(nil),
+		(*telemetry.EventBuffer)(nil),
+		(*telemetry.Series)(nil),
+		(*telemetry.Histogram)(nil),
+	}
+	for _, target := range targets {
+		v := reflect.ValueOf(target)
+		typ := v.Type()
+		typeName := typ.Elem().Name()
+
+		// Value-receiver methods cannot be reached through a nil pointer
+		// without dereferencing it, and the static contract only covers
+		// pointer receivers — skip them.
+		valueMethods := make(map[string]bool)
+		for i := 0; i < typ.Elem().NumMethod(); i++ {
+			valueMethods[typ.Elem().Method(i).Name] = true
+		}
+
+		called := 0
+		for i := 0; i < typ.NumMethod(); i++ {
+			m := typ.Method(i)
+			if valueMethods[m.Name] {
+				continue
+			}
+			mt := m.Func.Type() // In(0) is the receiver
+			n := mt.NumIn()
+			if mt.IsVariadic() {
+				n-- // omit the variadic tail entirely
+			}
+			args := make([]reflect.Value, 1, n)
+			args[0] = v
+			for j := 1; j < n; j++ {
+				args = append(args, reflect.Zero(mt.In(j)))
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("(*%s).%s panicked on nil receiver: %v", typeName, m.Name, r)
+					}
+				}()
+				m.Func.Call(args)
+			}()
+			called++
+		}
+		if called == 0 {
+			t.Errorf("*%s exposes no pointer-receiver methods; the probe contract expects some", typeName)
+		}
+	}
+}

@@ -34,7 +34,12 @@ func NewMaxSeries(window int64) *Series {
 }
 
 // Window returns the bucket width in cycles.
-func (s *Series) Window() int64 { return s.window }
+func (s *Series) Window() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.window
+}
 
 // Len returns the number of buckets observed so far.
 func (s *Series) Len() int {

@@ -296,10 +296,10 @@ func (p *DeviceProbe) DataBusBusy() int64 {
 
 // Totals sums the per-bank counters.
 func (p *DeviceProbe) Totals() BankCounters {
-	var t BankCounters
 	if p == nil {
-		return t
+		return BankCounters{}
 	}
+	var t BankCounters
 	for _, b := range p.banks {
 		t.add(b)
 	}
