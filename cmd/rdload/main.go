@@ -1,0 +1,375 @@
+// Command rdload is the load-test harness for the serving stack: N
+// concurrent clients drive a scenario mix — the paper's Figure-7 grid, a
+// cache-hot subset replayed to measure the hit path, and fault-injection
+// sweeps — against an rdserved instance, then report latency percentiles,
+// throughput, and cache effectiveness.
+//
+//	rdload -clients 8 -duration 30s                 # spawn a server in-process
+//	rdload -addr http://localhost:8347 -duration 1m # drive a running server
+//
+// The run ends with two health gates: the summary must show non-zero
+// throughput, and the server's GET /metrics body must be a valid
+// Prometheus text exposition (checked by obs.CheckExposition). Either
+// failing exits non-zero, which is what CI's load-smoke step relies on.
+//
+// The summary is written as JSON (-out, default BENCH_service_load.json)
+// and mirrored to stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/experiments"
+	"rdramstream/internal/fault"
+	"rdramstream/internal/obs"
+	"rdramstream/internal/service"
+	"rdramstream/internal/service/client"
+	"rdramstream/internal/sim"
+	"rdramstream/internal/stream"
+	"rdramstream/internal/version"
+)
+
+// LatencySummary holds request-latency percentiles in microseconds.
+//
+// rdlint:wire — part of the BENCH_service_load.json schema; field names
+// are pinned (CI's load-smoke step asserts on them with jq).
+type LatencySummary struct {
+	P50  int64   `json:"p50"`
+	P95  int64   `json:"p95"`
+	P99  int64   `json:"p99"`
+	Max  int64   `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// Summary is the BENCH_service_load.json wire format: one load run's
+// aggregate results plus the server's own metrics snapshot.
+//
+// rdlint:wire — consumed by CI's load-smoke jq assertions and by
+// benchmark tooling; field names are pinned.
+type Summary struct {
+	Version     string  `json:"version"`
+	Addr        string  `json:"addr"`
+	Spawned     bool    `json:"spawned"`
+	Clients     int     `json:"clients"`
+	DurationSec float64 `json:"duration_sec"`
+	// Requests counts HTTP round trips; Scenarios counts simulated
+	// scenarios (a sweep request carries several).
+	Requests      int64          `json:"requests"`
+	Scenarios     int64          `json:"scenarios"`
+	Sweeps        int64          `json:"sweeps"`
+	Errors        int64          `json:"errors"`
+	ErrorRate     float64        `json:"error_rate"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	Latency       LatencySummary `json:"latency_us"`
+	// ClientCachedRate is the fraction of simulate responses flagged
+	// Cached; CacheHitRate is the server-side hits/(hits+misses+dedups).
+	ClientCachedRate float64 `json:"client_cached_rate"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	// MetricsExpositionValid reports whether GET /metrics parsed as a
+	// valid Prometheus text exposition of ExpositionSamples series.
+	MetricsExpositionValid   bool             `json:"metrics_exposition_valid"`
+	MetricsExpositionSamples int              `json:"metrics_exposition_samples"`
+	Server                   *service.Metrics `json:"server,omitempty"`
+}
+
+// config is one rdload invocation.
+type config struct {
+	addr     string
+	clients  int
+	duration time.Duration
+	out      string
+	seed     int64
+	workers  int
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "", "server base URL (empty = spawn one in-process)")
+	flag.IntVar(&cfg.clients, "clients", 4, "concurrent client goroutines")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "load duration")
+	flag.StringVar(&cfg.out, "out", "BENCH_service_load.json", "summary output path")
+	flag.Int64Var(&cfg.seed, "seed", 1, "base seed for the per-client scenario draws")
+	flag.IntVar(&cfg.workers, "workers", 0, "spawned server's worker pool (0 = GOMAXPROCS)")
+	showVersion := flag.Bool("version", false, "print the version stamp and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.Stamp())
+		return
+	}
+	sum, err := run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdload: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(sum)
+	if sum.Requests == 0 || sum.ThroughputRPS <= 0 {
+		fmt.Fprintln(os.Stderr, "rdload: FAIL: zero throughput")
+		os.Exit(1)
+	}
+	if !sum.MetricsExpositionValid {
+		fmt.Fprintln(os.Stderr, "rdload: FAIL: /metrics is not a valid Prometheus exposition")
+		os.Exit(1)
+	}
+}
+
+// mix builds the scenario population. The bulk is the paper's Figure-7
+// grid (kernels x schemes x lengths, at three FIFO depths); hot is the
+// subset replayed with high probability so the run exercises the cache
+// hit path; the tail adds fault-injection scenarios so faulted simulation
+// cost shows up in the latency distribution.
+func mix(seed int64) (all, hot []sim.Scenario) {
+	depths := []int{8, 32, 128}
+	for _, kernel := range experiments.Figure7Kernels {
+		for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+			for _, n := range experiments.Figure7Lengths {
+				for _, depth := range depths {
+					all = append(all, sim.Scenario{
+						KernelName: kernel, N: n, Scheme: scheme, Mode: sim.SMC,
+						FIFODepth: depth, Placement: stream.Staggered, SkipVerify: true,
+					})
+				}
+			}
+		}
+	}
+	for severity := 1; severity <= 3; severity++ {
+		fc := fault.Scaled(seed, severity)
+		all = append(all, sim.Scenario{
+			KernelName: "daxpy", N: 128, Scheme: addrmap.PI, Mode: sim.SMC,
+			FIFODepth: 32, Placement: stream.Staggered, SkipVerify: true, Fault: &fc,
+		})
+	}
+	// The hot set: one scenario per kernel, small and fixed, so repeats
+	// accumulate quickly across all clients.
+	for _, kernel := range experiments.Figure7Kernels {
+		hot = append(hot, sim.Scenario{
+			KernelName: kernel, N: 128, Scheme: addrmap.PI, Mode: sim.SMC,
+			FIFODepth: 32, Placement: stream.Staggered, SkipVerify: true,
+		})
+	}
+	return all, hot
+}
+
+// clientStats is one load goroutine's tally, merged after the run.
+type clientStats struct {
+	requests, scenarios, sweeps, errors int64
+	cachedScenarios                     int64
+	latenciesUS                         []int64
+}
+
+func run(cfg config) (Summary, error) {
+	if cfg.clients <= 0 {
+		cfg.clients = 1
+	}
+	sum := Summary{
+		Version: version.Stamp(),
+		Clients: cfg.clients,
+	}
+	base := cfg.addr
+	if base == "" {
+		spawned, shutdown, err := spawnServer(cfg.workers)
+		if err != nil {
+			return sum, err
+		}
+		defer shutdown()
+		base = spawned
+		sum.Spawned = true
+	}
+	sum.Addr = base
+	cl := client.New(base)
+	if _, err := cl.Health(context.Background()); err != nil {
+		return sum, fmt.Errorf("server not healthy at %s: %w", base, err)
+	}
+
+	all, hot := mix(cfg.seed)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+	start := time.Now()
+
+	stats := make([]clientStats, cfg.clients)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			drive(ctx, cl, rand.New(rand.NewSource(cfg.seed+int64(i))), all, hot, &stats[i])
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lats []int64
+	var cached int64
+	for _, st := range stats {
+		sum.Requests += st.requests
+		sum.Scenarios += st.scenarios
+		sum.Sweeps += st.sweeps
+		sum.Errors += st.errors
+		cached += st.cachedScenarios
+		lats = append(lats, st.latenciesUS...)
+	}
+	sum.DurationSec = elapsed.Seconds()
+	if elapsed > 0 {
+		sum.ThroughputRPS = float64(sum.Requests) / elapsed.Seconds()
+	}
+	if sum.Requests > 0 {
+		sum.ErrorRate = float64(sum.Errors) / float64(sum.Requests)
+	}
+	if sum.Scenarios > 0 {
+		sum.ClientCachedRate = float64(cached) / float64(sum.Scenarios)
+	}
+	sum.Latency = summarizeLatencies(lats)
+
+	m, err := cl.Metrics(context.Background())
+	if err != nil {
+		return sum, fmt.Errorf("fetching /metrics?format=json: %w", err)
+	}
+	sum.Server = &m
+	if classified := m.Cache.Hits + m.Cache.Misses + m.Cache.Dedups; classified > 0 {
+		sum.CacheHitRate = float64(m.Cache.Hits) / float64(classified)
+	}
+	text, err := cl.MetricsText(context.Background())
+	if err != nil {
+		return sum, fmt.Errorf("fetching /metrics: %w", err)
+	}
+	n, err := obs.CheckExposition(text)
+	sum.MetricsExpositionValid = err == nil
+	sum.MetricsExpositionSamples = n
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdload: exposition check: %v\n", err)
+	}
+
+	if cfg.out != "" {
+		data, merr := json.MarshalIndent(sum, "", "  ")
+		if merr != nil {
+			return sum, merr
+		}
+		if werr := os.WriteFile(cfg.out, append(data, '\n'), 0o644); werr != nil {
+			return sum, werr
+		}
+	}
+	return sum, nil
+}
+
+// drive is one client's loop: mostly single simulates drawn 60% from the
+// hot set, with a 5% chance of a small sweep, until the context expires.
+func drive(ctx context.Context, cl *client.Client, rng *rand.Rand, all, hot []sim.Scenario, st *clientStats) {
+	pick := func() sim.Scenario {
+		if rng.Float64() < 0.6 {
+			return hot[rng.Intn(len(hot))]
+		}
+		return all[rng.Intn(len(all))]
+	}
+	for ctx.Err() == nil {
+		reqStart := time.Now()
+		if rng.Float64() < 0.05 {
+			scs := make([]sim.Scenario, 2+rng.Intn(3))
+			for i := range scs {
+				scs[i] = pick()
+			}
+			lines := int64(0)
+			summary, err := cl.Sweep(ctx, scs, func(l service.SweepLine) error {
+				if l.Cached {
+					st.cachedScenarios++
+				}
+				lines++
+				return nil
+			})
+			if ctx.Err() != nil {
+				return // the deadline cut the request short; not an error
+			}
+			st.requests++
+			st.sweeps++
+			st.scenarios += lines
+			if err != nil || summary.Failed > 0 {
+				st.errors++
+				continue
+			}
+		} else {
+			resp, err := cl.Simulate(ctx, pick())
+			if ctx.Err() != nil {
+				return
+			}
+			st.requests++
+			st.scenarios++
+			if err != nil {
+				st.errors++
+				continue
+			}
+			if resp.Cached {
+				st.cachedScenarios++
+			}
+		}
+		st.latenciesUS = append(st.latenciesUS, time.Since(reqStart).Microseconds())
+	}
+}
+
+// summarizeLatencies reduces a latency sample to percentiles.
+func summarizeLatencies(lats []int64) LatencySummary {
+	if len(lats) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var total int64
+	for _, v := range lats {
+		total += v
+	}
+	return LatencySummary{
+		P50:  percentile(lats, 50),
+		P95:  percentile(lats, 95),
+		P99:  percentile(lats, 99),
+		Max:  lats[len(lats)-1],
+		Mean: float64(total) / float64(len(lats)),
+	}
+}
+
+// percentile reads the p-th percentile (nearest-rank) from a sorted
+// sample.
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// spawnServer starts an in-process rdserved-equivalent on a loopback
+// port, so `rdload` with no -addr is a one-command benchmark.
+func spawnServer(workers int) (baseURL string, shutdown func(), err error) {
+	svc, err := service.New(service.Config{Workers: workers})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	server := &http.Server{Handler: service.NewHandler(svc)}
+	go server.Serve(ln)
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		server.Shutdown(ctx)
+		svc.Close(ctx)
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestMixValidates(t *testing.T) {
+	all, hot := mix(1)
+	if len(all) < 40 {
+		t.Fatalf("mix has %d scenarios; the Figure-7 grid alone is 48", len(all))
+	}
+	if len(hot) == 0 {
+		t.Fatal("hot set is empty")
+	}
+	faulted := 0
+	for i, sc := range all {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("mix scenario %d invalid: %v", i, err)
+		}
+		if sc.Fault != nil && sc.Fault.Active() {
+			faulted++
+		}
+	}
+	for i, sc := range hot {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("hot scenario %d invalid: %v", i, err)
+		}
+	}
+	if faulted == 0 {
+		t.Error("mix carries no active fault scenarios")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	lats := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	s := summarizeLatencies(lats)
+	if s.P50 != 50 || s.P95 != 100 || s.P99 != 100 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 55 {
+		t.Errorf("mean = %v, want 55", s.Mean)
+	}
+	if got := percentile([]int64{7}, 99); got != 7 {
+		t.Errorf("single-sample p99 = %d", got)
+	}
+	if got := (LatencySummary{}); summarizeLatencies(nil) != got {
+		t.Error("empty sample did not summarize to zero")
+	}
+}
+
+// TestRunEndToEnd spawns the in-process server and drives a short load
+// through the real client, then checks the summary invariants and the
+// written BENCH file.
+func TestRunEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	sum, err := run(config{
+		clients:  2,
+		duration: 1500 * time.Millisecond,
+		out:      out,
+		seed:     1,
+		workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Spawned || sum.Addr == "" {
+		t.Errorf("summary did not record the spawned server: %+v", sum)
+	}
+	if sum.Requests == 0 || sum.ThroughputRPS <= 0 {
+		t.Errorf("no throughput: %+v", sum)
+	}
+	if sum.Scenarios < sum.Requests {
+		t.Errorf("scenarios %d < requests %d", sum.Scenarios, sum.Requests)
+	}
+	if sum.Errors != 0 {
+		t.Errorf("load run produced %d errors", sum.Errors)
+	}
+	if sum.Latency.P50 <= 0 || sum.Latency.P99 < sum.Latency.P50 {
+		t.Errorf("latency summary inconsistent: %+v", sum.Latency)
+	}
+	if !sum.MetricsExpositionValid || sum.MetricsExpositionSamples == 0 {
+		t.Errorf("exposition check failed: valid=%v samples=%d",
+			sum.MetricsExpositionValid, sum.MetricsExpositionSamples)
+	}
+	if sum.Server == nil || sum.Server.Workers.TasksRun == 0 {
+		t.Errorf("server metrics missing from summary: %+v", sum.Server)
+	}
+	// The hot set repeats across two clients, so the cache must have hits.
+	if sum.CacheHitRate == 0 && sum.ClientCachedRate == 0 {
+		t.Error("no cache hits despite a 60%-hot mix")
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Summary
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("BENCH file does not decode: %v", err)
+	}
+	if decoded.Requests != sum.Requests || decoded.Version != sum.Version {
+		t.Errorf("BENCH file disagrees with returned summary")
+	}
+}

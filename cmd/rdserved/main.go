@@ -5,14 +5,17 @@
 //
 //	rdserved -addr :8347 -workers 8 -cache-entries 4096 -cache-dir /var/cache/rdramstream
 //
-// API (see docs/SERVICE.md):
+// API (see docs/SERVICE.md and docs/OBSERVABILITY.md):
 //
-//	POST /v1/simulate  one scenario (sim.Scenario JSON), synchronous
-//	POST /v1/sweep     {"scenarios":[...]}, NDJSON stream in input order
-//	GET  /v1/jobs/{id} job status
-//	GET  /healthz      liveness + version stamp
-//	GET  /metrics      cache hit/miss, queue depth, worker utilization,
-//	                   stall-cause aggregates
+//	POST /v1/simulate      one scenario (sim.Scenario JSON), synchronous
+//	POST /v1/sweep         {"scenarios":[...]}, NDJSON stream in input order
+//	GET  /v1/jobs/{id}     job status
+//	GET  /v1/requests/{id} one request trace (per-stage spans)
+//	GET  /debug/requests   recent traces (?format=json|jsonl|chrome)
+//	GET  /healthz          liveness + version stamp
+//	GET  /metrics          Prometheus text exposition; ?format=json for
+//	                       the cache/queue/worker/stall JSON snapshot
+//	GET  /debug/pprof/     runtime profiles (only with -pprof)
 //
 // Shutdown: SIGINT/SIGTERM stops accepting connections, drains the job
 // queue (bounded by -drain-timeout), then exits.
@@ -29,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"rdramstream/internal/obs"
 	"rdramstream/internal/resultcache"
 	"rdramstream/internal/service"
 	"rdramstream/internal/version"
@@ -43,6 +47,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "on-disk result store directory (empty = memory only)")
 	requestTimeout := flag.Duration("request-timeout", 5*time.Minute, "per-request simulation deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+	traceRing := flag.Int("trace-ring", obs.DefaultRingSize, "request traces kept for /debug/requests")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	showVersion := flag.Bool("version", false, "print the version stamp and exit")
 	flag.Parse()
 
@@ -60,14 +66,16 @@ func main() {
 		QueueDepth: *queueDepth,
 		BatchSize:  *batchSize,
 		Cache:      cache,
+		Obs:        obs.NewObserver(obs.ObserverOptions{RingSize: *traceRing}),
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 
+	handler := service.NewHandlerWith(svc, service.HandlerOptions{PProf: *pprofOn})
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           withDeadline(service.NewHandler(svc), *requestTimeout),
+		Handler:           withDeadline(handler, *requestTimeout),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -13,8 +13,20 @@ func TestDeterminism(t *testing.T) {
 			dirs: []string{"determinism/clock"},
 		},
 		{
+			name: "engine is core: wall-clock timing there still trips",
+			dirs: []string{"determinism/engine"},
+		},
+		{
+			name: "obs is the observability layer: wall-clock reads are legal",
+			dirs: []string{"determinism/obs"},
+		},
+		{
 			name: "both together still only flag the core",
 			dirs: []string{"determinism", "determinism/clock"},
+		},
+		{
+			name: "core and observability side by side flag only the core",
+			dirs: []string{"determinism/engine", "determinism/obs"},
 		},
 	})
 }

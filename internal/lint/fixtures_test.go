@@ -20,6 +20,8 @@ import (
 var fixtureDirs = []string{
 	"determinism",
 	"determinism/clock",
+	"determinism/engine",
+	"determinism/obs",
 	"maprange",
 	"stallcause",
 	"nilprobe",

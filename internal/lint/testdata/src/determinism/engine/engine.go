@@ -1,0 +1,19 @@
+// Package engine is a lint fixture: it borrows the worker-pool core
+// package's name, so wall-clock reads here must still be flagged — the
+// observability layer (internal/obs, internal/service) is where request
+// timing lives, never the engine that executes simulations.
+package engine
+
+import "time"
+
+// BatchElapsed would time a batch on the wall clock, which the core must
+// never do: simulated time comes from the device model, and wall timing
+// belongs to the serving layer.
+func BatchElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in simulation core"
+}
+
+// Deadline reads the wall clock directly.
+func Deadline() time.Time {
+	return time.Now().Add(time.Second) // want "time.Now in simulation core"
+}

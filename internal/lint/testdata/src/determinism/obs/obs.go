@@ -1,0 +1,21 @@
+// Package obs is a lint fixture: it borrows the observability layer's
+// package name, which is deliberately OUTSIDE the determinism analyzer's
+// banned set — request tracing and latency histograms are wall-clock
+// territory. Nothing in this file carries a want marker: any diagnostic
+// here is an analyzer regression that would outlaw the serving stack's
+// instrumentation.
+package obs
+
+import "time"
+
+// SpanBounds reads the wall clock twice, the fundamental operation of
+// request tracing. Legal here.
+func SpanBounds() (time.Time, time.Time) {
+	start := time.Now()
+	return start, time.Now()
+}
+
+// Latency measures elapsed wall time for a latency histogram. Legal here.
+func Latency(start time.Time) int64 {
+	return time.Since(start).Microseconds()
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rdramstream/internal/telemetry"
+)
+
+// fakeClock is a deterministic time source advancing 1ms per read.
+type fakeClock struct {
+	t time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+func TestTraceSpansAndRecord(t *testing.T) {
+	clk := newFakeClock()
+	o := NewObserver(ObserverOptions{Now: clk.now})
+	tr := o.NewTrace("", "POST /v1/sweep")
+	if tr.ID() != "req-000001" {
+		t.Fatalf("generated id = %q, want req-000001", tr.ID())
+	}
+	start := tr.start
+	tr.Span(StageQueued, start, start.Add(2*time.Millisecond), "")
+	tr.Span(StageSimulate, start.Add(2*time.Millisecond), start.Add(7*time.Millisecond), "daxpy/PI")
+	tr.AddScenarios(3)
+	tr.AddCacheHit()
+	tr.SetStatus(200)
+	for i := 0; i < 10; i++ {
+		clk.now() // advance past the last span before finishing
+	}
+	tr.Finish()
+
+	rec := tr.Record()
+	if !rec.Done || rec.Status != 200 || rec.Scenarios != 3 || rec.CacheHits != 1 {
+		t.Errorf("record = %+v", rec)
+	}
+	if len(rec.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(rec.Spans))
+	}
+	if rec.Spans[0].Stage != "queued" || rec.Spans[0].StartUS != 0 || rec.Spans[0].EndUS != 2000 {
+		t.Errorf("queued span = %+v", rec.Spans[0])
+	}
+	if rec.Spans[1].Note != "daxpy/PI" || rec.Spans[1].EndUS != 7000 {
+		t.Errorf("simulate span = %+v", rec.Spans[1])
+	}
+	if rec.DurationUS <= 0 {
+		t.Errorf("duration = %d", rec.DurationUS)
+	}
+	// Every span must lie within the trace bounds.
+	for _, sp := range rec.Spans {
+		if sp.StartUS < 0 || sp.EndUS > rec.DurationUS {
+			t.Errorf("span %+v outside trace duration %d", sp, rec.DurationUS)
+		}
+	}
+}
+
+func TestTraceSpanBound(t *testing.T) {
+	clk := newFakeClock()
+	o := NewObserver(ObserverOptions{Now: clk.now})
+	tr := o.NewTrace("", "POST /v1/sweep")
+	at := tr.start
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		tr.Span(StageQueued, at, at.Add(time.Microsecond), "")
+	}
+	rec := tr.Record()
+	if len(rec.Spans) != maxSpansPerTrace {
+		t.Errorf("spans = %d, want bound %d", len(rec.Spans), maxSpansPerTrace)
+	}
+	if rec.SpansDropped != 10 {
+		t.Errorf("dropped = %d, want 10", rec.SpansDropped)
+	}
+}
+
+func TestRequestIDAcceptedAndSanitized(t *testing.T) {
+	o := NewObserver(ObserverOptions{Now: newFakeClock().now})
+	if got := o.NewTrace("client-id_1.x", "GET /healthz").ID(); got != "client-id_1.x" {
+		t.Errorf("valid client id rewritten to %q", got)
+	}
+	for _, bad := range []string{"has space", "quo\"te", strings.Repeat("x", 65), "new\nline", "ünïcode"} {
+		if got := o.NewTrace(bad, "GET /healthz").ID(); !strings.HasPrefix(got, "req-") {
+			t.Errorf("invalid id %q accepted as %q", bad, got)
+		}
+	}
+}
+
+func TestRingEvictionAndLookup(t *testing.T) {
+	clk := newFakeClock()
+	o := NewObserver(ObserverOptions{RingSize: 4, Now: clk.now})
+	for i := 0; i < 10; i++ {
+		o.NewTrace(fmt.Sprintf("id-%d", i), "GET /healthz").Finish()
+	}
+	if _, ok := o.Ring.Get("id-0"); ok {
+		t.Error("evicted trace still indexed")
+	}
+	if _, ok := o.Ring.Get("id-9"); !ok {
+		t.Error("latest trace not indexed")
+	}
+	recent := o.Ring.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("recent = %d traces, want 4", len(recent))
+	}
+	for i, rec := range recent {
+		if want := fmt.Sprintf("id-%d", 6+i); rec.ID != want {
+			t.Errorf("recent[%d] = %s, want %s (oldest first)", i, rec.ID, want)
+		}
+	}
+}
+
+func TestRingReusedIDLatestWins(t *testing.T) {
+	o := NewObserver(ObserverOptions{RingSize: 4, Now: newFakeClock().now})
+	o.NewTrace("dup", "GET /healthz")
+	second := o.NewTrace("dup", "POST /v1/simulate")
+	got, ok := o.Ring.Get("dup")
+	if !ok || got != second {
+		t.Error("reused request ID does not resolve to the latest trace")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	o := NewObserver(ObserverOptions{Now: newFakeClock().now})
+	tr := o.NewTrace("", "POST /v1/simulate")
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Error("trace does not round-trip through context")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context yields a trace")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.Span(StageQueued, time.Now(), time.Now(), "")
+	tr.AddScenarios(1)
+	tr.AddCacheHit()
+	tr.SetStatus(500)
+	tr.SetError("boom")
+	tr.Finish()
+	_ = tr.Record()
+	_ = tr.ID()
+	var r *Ring
+	r.Add(nil)
+	if _, ok := r.Get("x"); ok {
+		t.Error("nil ring found a trace")
+	}
+	_ = r.Recent()
+	var o *Observer
+	_ = o.Now()
+	if o.NewTrace("x", "y") != nil {
+		t.Error("nil observer built a trace")
+	}
+	var reg *Registry
+	reg.SetGauge("x", "y", 1)
+	reg.SetCounter("x", "y", 1)
+	_ = reg.Counter("x", "y")
+	_ = reg.Histogram("x", "y", []int64{1})
+	var c *Counter
+	c.Add(1)
+	c.Inc()
+	_ = c.Value()
+	var h *LatencyHistogram
+	h.Observe(1)
+}
+
+func TestEventsExport(t *testing.T) {
+	clk := newFakeClock()
+	o := NewObserver(ObserverOptions{Now: clk.now})
+	for i := 0; i < 2; i++ {
+		tr := o.NewTrace("", "POST /v1/simulate")
+		tr.Span(StageCache, tr.start, tr.start.Add(time.Millisecond), "")
+		tr.Finish()
+	}
+	recs := o.Ring.Recent()
+	events := Events(recs)
+	// one request span + one stage span per trace
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4", len(events))
+	}
+	for _, ev := range events {
+		if ev.Start < 0 || ev.End < ev.Start {
+			t.Errorf("event %+v has bad bounds", ev)
+		}
+	}
+
+	// The telemetry exporters must accept them unchanged.
+	var jsonl bytes.Buffer
+	if err := telemetry.WriteJSONL(&jsonl, events); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(jsonl.String()), "\n") + 1; lines != 4 {
+		t.Errorf("JSONL lines = %d, want 4", lines)
+	}
+	var chrome bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&chrome, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("chrome trace carries no events")
+	}
+	if Events(nil) != nil {
+		t.Error("Events(nil) != nil")
+	}
+}

@@ -36,7 +36,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"rdramstream/internal/sim"
 	"rdramstream/internal/version"
@@ -58,15 +57,20 @@ type Options struct {
 	Dir string
 }
 
-// Stats is a point-in-time snapshot of the cache's counters.
+// Stats is a point-in-time snapshot of the cache's counters. All
+// counters are read under one lock, and related counters are incremented
+// under that same lock in one step, so a snapshot is internally
+// consistent: DiskHits never exceeds Hits, and Hits+Misses+Dedups equals
+// the number of Do calls that have classified themselves — no
+// torn-counter skew under concurrent load (race-tested).
 type Stats struct {
 	// Hits counts requests answered from memory, Misses requests that ran
 	// a simulation.
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
-	// DiskHits counts lookups rescued by the on-disk store and promoted
-	// to memory. A Do rescued by disk also counts as a Hit, so DiskHits
-	// is a subset of Hits and disjoint from Misses.
+	// DiskHits counts Do lookups rescued by the on-disk store and
+	// promoted to memory. A Do rescued by disk also counts as a Hit, so
+	// DiskHits is a subset of Hits and disjoint from Misses.
 	DiskHits int64 `json:"disk_hits"`
 	// Dedups counts requests that piggybacked on an identical in-flight
 	// simulation instead of starting their own.
@@ -94,7 +98,19 @@ type Cache struct {
 	flightMu sync.Mutex
 	inflight map[string]*flight
 
-	hits, misses, diskHits, dedups, evictions, diskErrors atomic.Int64
+	// statsMu guards every counter as one group: increments that belong
+	// together (a disk rescue is a Hit AND a DiskHit) happen in a single
+	// critical section, and Stats reads them all in one, so a concurrent
+	// snapshot can never observe DiskHits > Hits or similar skew.
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// count runs one grouped counter mutation under the stats lock.
+func (c *Cache) count(f func(*Stats)) {
+	c.statsMu.Lock()
+	f(&c.stats)
+	c.statsMu.Unlock()
 }
 
 type entry struct {
@@ -171,49 +187,50 @@ func Key(sc sim.Scenario) (string, error) {
 }
 
 // Get looks the scenario up in memory (and then on disk, promoting a find
-// to memory) without running anything. The boolean reports a hit. Get does
-// not touch the Hits/Misses counters — only Do does — though a disk rescue
-// still counts toward DiskHits inside lookup.
+// to memory) without running anything. The boolean reports a hit. Get
+// touches no hit/miss counters — only Do classifies requests — so probing
+// the cache never skews the serving metrics.
 func (c *Cache) Get(sc sim.Scenario) (sim.Outcome, bool, error) {
 	key, err := Key(sc)
 	if err != nil {
 		return sim.Outcome{}, false, err
 	}
-	out, ok := c.lookup(key)
+	out, ok, _ := c.lookup(key)
 	return out, ok, nil
 }
 
-// lookup checks memory then disk. It does not touch the hit/miss
-// counters — Do owns those, so a Do that falls through to disk counts
-// once, not twice.
-func (c *Cache) lookup(key string) (sim.Outcome, bool) {
+// lookup checks memory then disk, reporting where the find came from. It
+// touches no hit/miss counters — Do owns those and folds fromDisk into
+// its own grouped increment, so a disk rescue counts as Hit+DiskHit in
+// one consistent step.
+func (c *Cache) lookup(key string) (out sim.Outcome, ok, fromDisk bool) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		out := el.Value.(*entry).out
 		c.mu.Unlock()
-		return out, true
+		return out, true, false
 	}
 	c.mu.Unlock()
 	if c.disk == nil {
-		return sim.Outcome{}, false
+		return sim.Outcome{}, false, false
 	}
 	out, ok, err := c.disk.load(key, c.vstamp)
 	if err != nil {
-		c.diskErrors.Add(1)
-		return sim.Outcome{}, false
+		c.count(func(s *Stats) { s.DiskErrors++ })
+		return sim.Outcome{}, false, false
 	}
 	if !ok {
-		return sim.Outcome{}, false
+		return sim.Outcome{}, false, false
 	}
-	c.diskHits.Add(1)
 	c.store(key, out, false) // already on disk; promote to memory only
-	return out, true
+	return out, true, true
 }
 
 // store inserts into the LRU (evicting from the back past capacity) and,
 // when writeDisk is set, persists to the disk store best-effort.
 func (c *Cache) store(key string, out sim.Outcome, writeDisk bool) {
+	evicted := 0
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
@@ -224,13 +241,18 @@ func (c *Cache) store(key string, out sim.Outcome, writeDisk bool) {
 			back := c.order.Back()
 			delete(c.entries, back.Value.(*entry).key)
 			c.order.Remove(back)
-			c.evictions.Add(1)
+			evicted++
 		}
 	}
 	c.mu.Unlock()
+	if evicted > 0 {
+		// Counted outside c.mu: statsMu is a leaf lock, never nested
+		// inside another of the cache's locks.
+		c.count(func(s *Stats) { s.Evictions += int64(evicted) })
+	}
 	if writeDisk && c.disk != nil {
 		if err := c.disk.save(key, c.vstamp, out); err != nil {
-			c.diskErrors.Add(1)
+			c.count(func(s *Stats) { s.DiskErrors++ })
 		}
 	}
 }
@@ -267,8 +289,13 @@ func (c *Cache) Do(ctx context.Context, sc sim.Scenario, run Runner) (sim.Outcom
 	if err != nil {
 		return sim.Outcome{}, false, err
 	}
-	if out, ok := c.lookup(key); ok {
-		c.hits.Add(1)
+	if out, ok, fromDisk := c.lookup(key); ok {
+		c.count(func(s *Stats) {
+			s.Hits++
+			if fromDisk {
+				s.DiskHits++
+			}
+		})
 		return out, true, nil
 	}
 	if run == nil {
@@ -278,7 +305,7 @@ func (c *Cache) Do(ctx context.Context, sc sim.Scenario, run Runner) (sim.Outcom
 	c.flightMu.Lock()
 	if fl, ok := c.inflight[key]; ok {
 		c.flightMu.Unlock()
-		c.dedups.Add(1)
+		c.count(func(s *Stats) { s.Dedups++ })
 		select {
 		case <-fl.done:
 			return fl.out, false, fl.err
@@ -297,7 +324,7 @@ func (c *Cache) Do(ctx context.Context, sc sim.Scenario, run Runner) (sim.Outcom
 		out := el.Value.(*entry).out
 		c.mu.Unlock()
 		c.flightMu.Unlock()
-		c.hits.Add(1)
+		c.count(func(s *Stats) { s.Hits++ })
 		return out, true, nil
 	}
 	c.mu.Unlock()
@@ -315,7 +342,7 @@ func (c *Cache) Do(ctx context.Context, sc sim.Scenario, run Runner) (sim.Outcom
 		close(fl.done)
 	}()
 
-	c.misses.Add(1)
+	c.count(func(s *Stats) { s.Misses++ })
 	fl.out, fl.err = safeRun(run, sc)
 	if fl.err == nil {
 		c.store(key, fl.out, true)
@@ -323,18 +350,17 @@ func (c *Cache) Do(ctx context.Context, sc sim.Scenario, run Runner) (sim.Outcom
 	return fl.out, false, fl.err
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters in one consistent read: every counter
+// comes from a single statsMu critical section, so cross-counter
+// invariants (DiskHits ⊆ Hits; Hits/Misses/Dedups partition classified
+// requests) hold in every snapshot, not just at quiescence.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	n := c.order.Len()
 	c.mu.Unlock()
-	return Stats{
-		Hits:       c.hits.Load(),
-		Misses:     c.misses.Load(),
-		DiskHits:   c.diskHits.Load(),
-		Dedups:     c.dedups.Load(),
-		Evictions:  c.evictions.Load(),
-		DiskErrors: c.diskErrors.Load(),
-		Entries:    n,
-	}
+	c.statsMu.Lock()
+	st := c.stats
+	c.statsMu.Unlock()
+	st.Entries = n
+	return st
 }

@@ -1,0 +1,102 @@
+package resultcache
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"rdramstream/internal/sim"
+)
+
+// TestStatsConsistentUnderRace hammers Do from many goroutines while a
+// poller snapshots Stats concurrently, asserting every snapshot is
+// internally consistent: DiskHits never exceeds Hits (a disk rescue is
+// counted as both in one critical section), no counter is negative, and
+// at quiescence every Do call classified itself exactly once. CI runs
+// this under -race.
+func TestStatsConsistentUnderRace(t *testing.T) {
+	c, err := New(Options{MaxEntries: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three distinct scenarios cycling through a one-entry LRU with a
+	// disk store behind it: repeated requests constantly fall out of
+	// memory and get rescued from disk, exercising the Hits+DiskHits
+	// grouped increment alongside misses, dedups, and evictions.
+	scs := make([]sim.Scenario, 3)
+	for i := range scs {
+		sc := scenario()
+		sc.N = 64 << i
+		scs[i] = sc
+	}
+	run := func(sc sim.Scenario) (sim.Outcome, error) { return sim.Run(sc) }
+
+	stop := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := c.Stats()
+			if st.DiskHits > st.Hits {
+				t.Errorf("torn snapshot: DiskHits %d > Hits %d", st.DiskHits, st.Hits)
+				return
+			}
+			for name, v := range map[string]int64{
+				"Hits": st.Hits, "Misses": st.Misses, "DiskHits": st.DiskHits,
+				"Dedups": st.Dedups, "Evictions": st.Evictions, "DiskErrors": st.DiskErrors,
+			} {
+				if v < 0 {
+					t.Errorf("negative counter %s = %d", name, v)
+					return
+				}
+			}
+		}
+	}()
+
+	const goroutines, rounds = 8, 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, sc := range scs {
+					if _, _, err := c.Do(context.Background(), sc, run); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	pollWG.Wait()
+
+	// A final sequential pass over all three scenarios through the
+	// one-entry LRU guarantees at least two disk rescues happened.
+	for _, sc := range scs {
+		if _, _, err := c.Do(context.Background(), sc, run); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := c.Stats()
+	total := int64(goroutines*rounds*len(scs) + len(scs))
+	if st.Hits+st.Misses+st.Dedups != total {
+		t.Errorf("hits %d + misses %d + dedups %d = %d classified Do calls, want %d",
+			st.Hits, st.Misses, st.Dedups, st.Hits+st.Misses+st.Dedups, total)
+	}
+	if st.DiskHits < 2 {
+		t.Errorf("disk hits = %d; a one-entry LRU cycling 3 scenarios must rescue from disk", st.DiskHits)
+	}
+	if st.DiskErrors != 0 {
+		t.Errorf("disk errors = %d", st.DiskErrors)
+	}
+}

@@ -175,9 +175,27 @@ func (c *Client) Health(ctx context.Context) (service.HealthResponse, error) {
 	return h, err
 }
 
-// Metrics fetches the server's observability snapshot.
+// Metrics fetches the server's observability snapshot (the JSON view of
+// GET /metrics; the bare path serves Prometheus text exposition).
 func (c *Client) Metrics(ctx context.Context) (service.Metrics, error) {
 	var m service.Metrics
-	err := c.getJSON(ctx, "/metrics", &m)
+	err := c.getJSON(ctx, "/metrics?format=json", &m)
 	return m, err
+}
+
+// MetricsText fetches the Prometheus text exposition of GET /metrics.
+func (c *Client) MetricsText(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
 }

@@ -5,10 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
 	"strings"
 
+	"rdramstream/internal/obs"
 	"rdramstream/internal/resultcache"
 	"rdramstream/internal/sim"
+	"rdramstream/internal/telemetry"
 	"rdramstream/internal/version"
 )
 
@@ -59,21 +64,149 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// NewHandler wires the service's HTTP API:
+// HandlerOptions configures the optional surfaces of the HTTP handler.
+type HandlerOptions struct {
+	// PProf mounts net/http/pprof under /debug/pprof/ when true. Off by
+	// default: profiling endpoints expose process internals and belong
+	// behind an explicit flag (rdserved -pprof).
+	PProf bool
+}
+
+// NewHandler wires the service's HTTP API with default options:
 //
-//	POST /v1/simulate  one scenario, synchronous JSON response
-//	POST /v1/sweep     scenario list, NDJSON stream in input order
-//	GET  /v1/jobs/{id} job status snapshot
-//	GET  /healthz      liveness + version stamp
-//	GET  /metrics      cache, queue, worker, job, and stall aggregates
+//	POST /v1/simulate      one scenario, synchronous JSON response
+//	POST /v1/sweep         scenario list, NDJSON stream in input order
+//	GET  /v1/jobs/{id}     job status snapshot
+//	GET  /v1/requests/{id} one request trace (spans, status, counts)
+//	GET  /debug/requests   recent traces (?format=json|jsonl|chrome)
+//	GET  /healthz          liveness + version stamp
+//	GET  /metrics          Prometheus text exposition (?format=json for
+//	                       the service.Metrics JSON snapshot)
+//
+// Every API request is traced: the middleware opens a Trace (honoring a
+// client X-Request-ID), threads it down the job context, records the
+// route/status counter and request-latency histogram, and echoes the
+// request ID back in the X-Request-ID response header.
 func NewHandler(s *Service) http.Handler {
+	return NewHandlerWith(s, HandlerOptions{})
+}
+
+// NewHandlerWith is NewHandler with explicit options.
+func NewHandlerWith(s *Service, opt HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/requests/{id}", s.handleRequest)
+	mux.HandleFunc("GET /debug/requests", s.handleRequests)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	if opt.PProf {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(mux)
+}
+
+// routeLabel normalizes a request to a bounded route-label set, so
+// arbitrary client paths cannot mint unbounded metric series.
+func routeLabel(r *http.Request) string {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/simulate":
+		return "POST /v1/simulate"
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/sweep":
+		return "POST /v1/sweep"
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
+		return "GET /v1/jobs/{id}"
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/requests/"):
+		return "GET /v1/requests/{id}"
+	case r.Method == http.MethodGet && r.URL.Path == "/healthz":
+		return "GET /healthz"
+	case r.Method == http.MethodGet && r.URL.Path == "/metrics":
+		return "GET /metrics"
+	case strings.HasPrefix(r.URL.Path, "/debug/"):
+		return "debug"
+	default:
+		return "other"
+	}
+}
+
+// statusWriter captures the response status code. It preserves
+// http.Flusher — the sweep handler streams NDJSON through it — by
+// implementing Flush itself rather than hiding the underlying writer's.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// traced reports whether a route gets a request trace. Introspection
+// endpoints are counted in the HTTP metrics but not traced: a scrape
+// every few seconds would churn the ring out of useful request traces.
+func traced(route string) bool {
+	switch route {
+	case "GET /metrics", "GET /healthz", "GET /v1/requests/{id}", "debug", "other":
+		return false
+	}
+	return true
+}
+
+// instrument wraps the mux with per-request observability: a Trace on
+// the context for API routes, the rd_http_requests_total counter, and
+// the rd_http_request_duration_us histogram for every route.
+func (s *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		o := s.obsv
+		if o == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		route := routeLabel(r)
+		start := o.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		var tr *obs.Trace
+		if traced(route) {
+			tr = o.NewTrace(r.Header.Get("X-Request-ID"), route)
+			w.Header().Set("X-Request-ID", tr.ID())
+			r = r.WithContext(obs.NewContext(r.Context(), tr))
+		}
+		next.ServeHTTP(sw, r)
+		end := o.Now()
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		tr.SetStatus(sw.status)
+		tr.Finish()
+		o.Reg.Counter("rd_http_requests_total",
+			"HTTP requests by route and status code.",
+			obs.L("route", route), obs.L("code", strconv.Itoa(sw.status))).Inc()
+		o.Reg.Histogram("rd_http_request_duration_us",
+			"End-to-end HTTP request latency in microseconds, by route.",
+			obs.DefaultLatencyBoundsUS(), obs.L("route", route)).
+			Observe(end.Sub(start).Microseconds())
+	})
 }
 
 // writeJSON emits one JSON body. Marshal errors cannot occur for our wire
@@ -88,6 +221,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// failRequest records the error on the request's trace (when one is
+// attached) and writes the error response.
+func failRequest(w http.ResponseWriter, r *http.Request, status int, err error) {
+	obs.FromContext(r.Context()).SetError(err.Error())
+	writeError(w, status, err)
 }
 
 // submitStatus maps a Submit failure to its HTTP status.
@@ -117,53 +257,66 @@ func decodeStrict(r *http.Request, v any) error {
 func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var sc sim.Scenario
 	if err := decodeStrict(r, &sc); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		failRequest(w, r, http.StatusBadRequest, err)
 		return
 	}
 	key, err := resultcache.Key(sc)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		failRequest(w, r, http.StatusBadRequest, err)
 		return
 	}
+	tr := obs.FromContext(r.Context())
+	tr.AddScenarios(1)
 	job, err := s.SubmitOne(r.Context(), sc)
 	if err != nil {
-		writeError(w, submitStatus(err), err)
+		failRequest(w, r, submitStatus(err), err)
 		return
 	}
+	// The stream span covers the response phase: the wait for the result
+	// (which overlaps the scenario's queued/cache/simulate spans) plus
+	// the body write.
+	streamStart := s.obsv.Now()
 	res, err := job.WaitResult(r.Context(), 0)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		failRequest(w, r, http.StatusServiceUnavailable, err)
 		return
 	}
 	if res.Error != "" {
-		writeError(w, http.StatusUnprocessableEntity, errors.New(res.Error))
+		failRequest(w, r, http.StatusUnprocessableEntity, errors.New(res.Error))
 		return
 	}
 	writeJSON(w, http.StatusOK, SimulateResponse{
 		JobID: job.ID(), Cached: res.Cached, Key: key, Outcome: *res.Outcome,
 	})
+	streamEnd := s.obsv.Now()
+	tr.Span(obs.StageStream, streamStart, streamEnd, "")
+	s.observeStage(obs.StageStream, streamEnd.Sub(streamStart))
 }
 
 func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if err := decodeStrict(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		failRequest(w, r, http.StatusBadRequest, err)
 		return
 	}
+	tr := obs.FromContext(r.Context())
+	tr.AddScenarios(len(req.Scenarios))
 	job, err := s.Submit(r.Context(), req.Scenarios)
 	if err != nil {
-		writeError(w, submitStatus(err), err)
+		failRequest(w, r, submitStatus(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	streamStart := s.obsv.Now()
 	for i := 0; i < len(req.Scenarios); i++ {
 		res, err := job.WaitResult(r.Context(), i)
 		if err != nil {
 			// The client went away (or the server is hard-stopping) while
 			// we streamed; nothing sensible left to send.
+			tr.SetError(err.Error())
 			return
 		}
 		enc.Encode(SweepLine{
@@ -182,6 +335,9 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if flusher != nil {
 		flusher.Flush()
 	}
+	streamEnd := s.obsv.Now()
+	tr.Span(obs.StageStream, streamStart, streamEnd, "")
+	s.observeStage(obs.StageStream, streamEnd.Sub(streamStart))
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -194,10 +350,88 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
+// handleRequest serves one request trace by ID.
+func (s *Service) handleRequest(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimSpace(r.PathValue("id"))
+	tr, ok := s.obsv.Ring.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown request %q (ring holds the most recent %d)", id, obs.DefaultRingSize))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Record())
+}
+
+// handleRequests serves the recent-trace ring, oldest first:
+// ?format=json (default) as a JSON array of trace records, ?format=jsonl
+// as telemetry-event lines, ?format=chrome as a Chrome/Perfetto trace
+// document — the same exporters that render simulation telemetry.
+func (s *Service) handleRequests(w http.ResponseWriter, r *http.Request) {
+	recs := s.obsv.Ring.Recent()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, recs)
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		telemetry.WriteJSONL(w, obs.Events(recs))
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		telemetry.WriteChromeTrace(w, obs.Events(recs))
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: unknown trace format %q (want json, jsonl, or chrome)", format))
+	}
+}
+
 func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Version: version.Stamp()})
 }
 
-func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
+// handleMetrics serves the Prometheus text exposition by default and the
+// service.Metrics JSON snapshot at ?format=json (the pre-exposition wire
+// format, unchanged for existing consumers). Both views derive from the
+// same Metrics() snapshot at scrape time, so they always agree.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, m)
+		return
+	}
+	s.publishSnapshot(m)
+	w.Header().Set("Content-Type", obs.ExpositionContentType)
+	s.obsv.Reg.WritePrometheus(w)
+}
+
+// publishSnapshot mirrors one Metrics snapshot into the Prometheus
+// registry as gauges and snapshot counters. The live series (HTTP
+// counters, latency histograms) accumulate in the registry directly;
+// everything whose source of truth is another subsystem's consistent
+// snapshot is pushed here at scrape time.
+func (s *Service) publishSnapshot(m Metrics) {
+	reg := s.obsv.Reg
+	reg.SetCounter("rd_cache_hits_total", "Result-cache requests answered from memory.", float64(m.Cache.Hits))
+	reg.SetCounter("rd_cache_misses_total", "Result-cache requests that ran a simulation.", float64(m.Cache.Misses))
+	reg.SetCounter("rd_cache_disk_hits_total", "Result-cache lookups rescued by the disk store (subset of hits).", float64(m.Cache.DiskHits))
+	reg.SetCounter("rd_cache_dedups_total", "Requests that piggybacked on an identical in-flight simulation.", float64(m.Cache.Dedups))
+	reg.SetCounter("rd_cache_evictions_total", "LRU entries displaced by newer ones.", float64(m.Cache.Evictions))
+	reg.SetCounter("rd_cache_disk_errors_total", "Best-effort disk reads/writes that failed.", float64(m.Cache.DiskErrors))
+	reg.SetGauge("rd_cache_entries", "Current in-memory result-cache entries.", float64(m.Cache.Entries))
+	reg.SetGauge("rd_queue_depth", "Scenarios queued but not yet dispatched.", float64(m.Queue.Depth))
+	reg.SetGauge("rd_queue_capacity", "Configured queue depth bound.", float64(m.Queue.Capacity))
+	reg.SetGauge("rd_workers_busy", "Worker-pool tasks executing right now.", float64(m.Workers.Busy))
+	reg.SetGauge("rd_workers_configured", "Configured worker-pool size.", float64(m.Workers.Configured))
+	reg.SetGauge("rd_worker_utilization", "Instantaneous busy fraction of the worker pool.", m.Workers.Utilization)
+	reg.SetCounter("rd_tasks_run_total", "Scenario tasks executed by the worker pool.", float64(m.Workers.TasksRun))
+	reg.SetCounter("rd_batches_total", "Dispatcher batches handed to the engine.", float64(m.Workers.Batches))
+	reg.SetCounter("rd_jobs_submitted_total", "Jobs accepted by Submit.", float64(m.Jobs.Submitted))
+	reg.SetGauge("rd_jobs_active", "Jobs not yet finished.", float64(m.Jobs.Active))
+	reg.SetGauge("rd_jobs_retained", "Finished and active jobs still queryable.", float64(m.Jobs.Retained))
+	causes := make([]string, 0, len(m.Stalls))
+	for cause := range m.Stalls {
+		causes = append(causes, cause)
+	}
+	sort.Strings(causes)
+	for _, cause := range causes {
+		reg.SetCounter("rd_sim_stall_cycles_total",
+			"Idle DATA-bus cycles attributed by stall cause, summed over executed simulations.",
+			float64(m.Stalls[cause]), obs.L("cause", cause))
+	}
 }

@@ -19,9 +19,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"rdramstream/internal/engine"
+	"rdramstream/internal/obs"
 	"rdramstream/internal/resultcache"
 	"rdramstream/internal/sim"
 	"rdramstream/internal/telemetry"
@@ -46,6 +47,12 @@ type Config struct {
 	// Cache, when non-nil, is the result cache to serve from; nil builds
 	// a default in-memory cache (1024 entries, no disk store).
 	Cache *resultcache.Cache
+	// Obs, when non-nil, is the observability state (trace ring + metrics
+	// registry) the service records into; nil builds a default Observer.
+	// Wall-clock timing lives here and in internal/obs — never in the
+	// simulation core — and attaching it cannot change any simulated
+	// outcome: traces and histograms only watch the request path.
+	Obs *obs.Observer
 }
 
 // Submission/lifecycle errors, matchable with errors.Is.
@@ -194,11 +201,15 @@ func (j *Job) finish(i int, res ScenarioResult) {
 }
 
 // task is one scenario of one job, the unit the queue and worker pool
-// move around.
+// move around. The timestamps delimit its queue life: submitted is set at
+// Submit, batched when the dispatcher coalesces it — runTask turns the
+// gaps into queued and batch_wait spans on the request's trace.
 type task struct {
-	job *Job
-	i   int
-	sc  sim.Scenario
+	job       *Job
+	i         int
+	sc        sim.Scenario
+	submitted time.Time
+	batched   time.Time
 }
 
 // Service is the job queue + batch dispatcher. Create with New, submit
@@ -221,13 +232,22 @@ type Service struct {
 	jobOrder []string // submission order, for retention eviction
 	nextJob  int64
 
-	stallMu sync.Mutex
-	stalls  map[string]int64
+	obsv *obs.Observer
 
-	busy     atomic.Int64
-	tasksRun atomic.Int64
-	batches  atomic.Int64
-	drained  chan struct{} // dispatcher exited
+	// obsMu guards the run counters and the stall aggregate as one group:
+	// related mutations (a finishing task decrements busy AND increments
+	// tasksRun) happen in a single critical section, and Metrics reads
+	// every field under the same lock, so a concurrent snapshot is
+	// internally consistent — busy never exceeds the pool, tasksRun never
+	// lags a decrement (race-tested). Leaf lock: never held while
+	// acquiring s.mu or any cache lock.
+	obsMu    sync.Mutex
+	busy     int64
+	tasksRun int64
+	batches  int64
+	stalls   map[string]int64
+
+	drained chan struct{} // dispatcher exited
 }
 
 // New builds and starts a Service.
@@ -251,6 +271,9 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewObserver(obs.ObserverOptions{})
+	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Service{
 		workers:      cfg.Workers,
@@ -258,6 +281,7 @@ func New(cfg Config) (*Service, error) {
 		batchSize:    cfg.BatchSize,
 		jobRetention: cfg.JobRetention,
 		cache:        cache,
+		obsv:         cfg.Obs,
 		ctx:          ctx,
 		cancel:       cancel,
 		jobs:         make(map[string]*Job),
@@ -271,6 +295,23 @@ func New(cfg Config) (*Service, error) {
 
 // Cache exposes the service's result cache (for tests and metrics).
 func (s *Service) Cache() *resultcache.Cache { return s.cache }
+
+// Obs exposes the service's observability state; the HTTP handler serves
+// its trace ring and metrics registry.
+func (s *Service) Obs() *obs.Observer { return s.obsv }
+
+// observeStage records one stage latency into the shared per-stage
+// histogram family. Registry registration is idempotent, so the first
+// observation of a stage creates its series.
+func (s *Service) observeStage(stage obs.Stage, d time.Duration) {
+	if s.obsv == nil {
+		return
+	}
+	s.obsv.Reg.Histogram("rd_stage_duration_us",
+		"Request-stage latency in microseconds, by pipeline stage.",
+		obs.DefaultLatencyBoundsUS(), obs.L("stage", string(stage))).
+		Observe(d.Microseconds())
+}
 
 // SubmitOne queues a single scenario.
 func (s *Service) SubmitOne(ctx context.Context, sc sim.Scenario) (*Job, error) {
@@ -319,8 +360,9 @@ func (s *Service) Submit(ctx context.Context, scs []sim.Scenario) (*Job, error) 
 	s.jobs[job.id] = job
 	s.jobOrder = append(s.jobOrder, job.id)
 	s.evictJobsLocked()
+	now := s.obsv.Now()
 	for i, sc := range scs {
-		s.queue = append(s.queue, &task{job: job, i: i, sc: sc})
+		s.queue = append(s.queue, &task{job: job, i: i, sc: sc, submitted: now})
 	}
 	s.cond.Broadcast()
 	return job, nil
@@ -370,7 +412,9 @@ func (s *Service) dispatch() {
 		if batch == nil {
 			return
 		}
-		s.batches.Add(1)
+		s.obsMu.Lock()
+		s.batches++
+		s.obsMu.Unlock()
 		_, err := engine.MapCtx(s.ctx, s.workers, len(batch), func(i int) (struct{}, error) {
 			s.runTask(batch[i])
 			return struct{}{}, nil
@@ -398,6 +442,10 @@ func (s *Service) nextBatch() []*task {
 	}
 	n := min(s.batchSize, len(s.queue))
 	batch := append([]*task(nil), s.queue[:n]...)
+	now := s.obsv.Now()
+	for _, t := range batch {
+		t.batched = now
+	}
 	s.queue = s.queue[n:]
 	if len(s.queue) == 0 {
 		// Let the backing array be reclaimed between bursts.
@@ -411,9 +459,16 @@ func (s *Service) nextBatch() []*task {
 // in the scenario's result so one bad row cannot sink a batch that also
 // carries other jobs' work.
 func (s *Service) runTask(t *task) {
-	s.busy.Add(1)
-	defer s.busy.Add(-1)
-	defer s.tasksRun.Add(1)
+	start := s.obsv.Now()
+	s.obsMu.Lock()
+	s.busy++
+	s.obsMu.Unlock()
+	defer func() {
+		s.obsMu.Lock()
+		s.busy--
+		s.tasksRun++
+		s.obsMu.Unlock()
+	}()
 	// The cache already converts runner panics into errors; this recover
 	// is the backstop for panics outside the runner (key derivation,
 	// telemetry merge), so a batch carrying other jobs' work never dies
@@ -424,6 +479,15 @@ func (s *Service) runTask(t *task) {
 			t.job.finish(t.i, ScenarioResult{Label: t.sc.Label(), Error: fmt.Sprintf("service: task panicked: %v", r)})
 		}
 	}()
+	// The request trace rides the job context from the HTTP handler; nil
+	// (direct service use, tests) makes every Span call a no-op.
+	tr := obs.FromContext(t.job.ctx)
+	if !t.submitted.IsZero() && !t.batched.IsZero() {
+		tr.Span(obs.StageQueued, t.submitted, t.batched, "")
+		s.observeStage(obs.StageQueued, t.batched.Sub(t.submitted))
+		tr.Span(obs.StageBatchWait, t.batched, start, "")
+		s.observeStage(obs.StageBatchWait, start.Sub(t.batched))
+	}
 	t.job.markRunning()
 	if err := t.job.ctx.Err(); err != nil {
 		t.job.finish(t.i, ScenarioResult{Label: t.sc.Label(), Error: context.Cause(t.job.ctx).Error()})
@@ -434,16 +498,37 @@ func (s *Service) runTask(t *task) {
 	// which run nothing — aggregate nothing. Attaching a collector never
 	// changes the simulated outcome (probes are passive), which keeps
 	// cached results byte-identical to direct sim.Run.
+	label := t.sc.Label()
 	var col *telemetry.Collector
+	var simStart, simEnd time.Time
+	cacheStart := s.obsv.Now()
 	out, cached, err := s.cache.Do(t.job.ctx, t.sc, func(sc sim.Scenario) (sim.Outcome, error) {
+		simStart = s.obsv.Now()
 		col = telemetry.New(telemetry.Options{})
 		sc.Telemetry = col
-		return sim.Run(sc)
+		o, e := sim.Run(sc)
+		simEnd = s.obsv.Now()
+		return o, e
 	})
+	cacheEnd := s.obsv.Now()
+	if simStart.IsZero() {
+		// Hit or deduped follower: no runner ran, so the whole Do — lookup
+		// or the wait on the leader's run — is cache time.
+		tr.Span(obs.StageCache, cacheStart, cacheEnd, label)
+		s.observeStage(obs.StageCache, cacheEnd.Sub(cacheStart))
+	} else {
+		tr.Span(obs.StageCache, cacheStart, simStart, label)
+		s.observeStage(obs.StageCache, simStart.Sub(cacheStart))
+		tr.Span(obs.StageSimulate, simStart, simEnd, label)
+		s.observeStage(obs.StageSimulate, simEnd.Sub(simStart))
+	}
+	if cached {
+		tr.AddCacheHit()
+	}
 	if col != nil && err == nil {
 		s.mergeStalls(col)
 	}
-	res := ScenarioResult{Label: t.sc.Label(), Cached: cached}
+	res := ScenarioResult{Label: label, Cached: cached}
 	if err != nil {
 		res.Error = err.Error()
 	} else {
@@ -456,11 +541,11 @@ func (s *Service) runTask(t *task) {
 // wide aggregate exposed by /metrics.
 func (s *Service) mergeStalls(col *telemetry.Collector) {
 	rep := col.Report()
-	s.stallMu.Lock()
+	s.obsMu.Lock()
 	for cause, cycles := range rep.Stalls {
 		s.stalls[cause] += cycles
 	}
-	s.stallMu.Unlock()
+	s.obsMu.Unlock()
 }
 
 // Close drains the service: no new submissions are accepted, queued work
@@ -517,7 +602,12 @@ type Metrics struct {
 	Stalls map[string]int64 `json:"stalls"`
 }
 
-// Metrics snapshots the service.
+// Metrics snapshots the service. Each section is read under its own
+// single lock in one step — queue/job state under s.mu, run counters and
+// stalls under s.obsMu, cache counters under the cache's stats lock — so
+// within a section the numbers are mutually consistent: Busy can never
+// exceed the concurrent-task high-water mark, and TasksRun never lags a
+// Busy decrement it should include.
 func (s *Service) Metrics() Metrics {
 	s.mu.Lock()
 	depth := len(s.queue)
@@ -533,14 +623,16 @@ func (s *Service) Metrics() Metrics {
 	}
 	s.mu.Unlock()
 
-	s.stallMu.Lock()
+	s.obsMu.Lock()
+	busy := s.busy
+	tasksRun := s.tasksRun
+	batches := s.batches
 	stalls := make(map[string]int64, len(s.stalls))
 	for k, v := range s.stalls {
 		stalls[k] = v
 	}
-	s.stallMu.Unlock()
+	s.obsMu.Unlock()
 
-	busy := s.busy.Load()
 	return Metrics{
 		Version: version.Stamp(),
 		Cache:   s.cache.Stats(),
@@ -548,8 +640,8 @@ func (s *Service) Metrics() Metrics {
 		Workers: WorkerMetrics{
 			Configured:  s.workers,
 			Busy:        busy,
-			TasksRun:    s.tasksRun.Load(),
-			Batches:     s.batches.Load(),
+			TasksRun:    tasksRun,
+			Batches:     batches,
 			Utilization: float64(busy) / float64(s.workers),
 		},
 		Jobs:   JobMetrics{Submitted: submitted, Active: active, Retained: retained},
