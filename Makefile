@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint bench bench-telemetry profile figures examples cover fuzz serve clean
+.PHONY: all build test vet lint bench bench-core bench-telemetry profile figures examples cover fuzz serve clean
 
 all: vet lint test build
 
@@ -21,9 +21,15 @@ lint:
 test:
 	$(GO) test ./...
 
-# One benchmark per paper table/figure plus simulator micro-benchmarks.
-bench:
+# One benchmark per paper table/figure plus simulator micro-benchmarks,
+# then the pinned core-speed comparison (see docs/PERFORMANCE.md).
+bench: bench-core
 	$(GO) test -bench=. -benchmem ./...
+
+# Core simulator speed vs the pre-refactor baselines; regenerates
+# BENCH_core_speed.json. CI gates regressions with `rdprof -check`.
+bench-core:
+	$(GO) run ./cmd/rdprof -bench-core -bench-core-out BENCH_core_speed.json
 
 # Telemetry-off vs telemetry-on timing comparison (see docs/OBSERVABILITY.md).
 bench-telemetry:

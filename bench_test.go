@@ -225,6 +225,46 @@ func BenchmarkRefreshAblation(b *testing.B) {
 
 // --- simulator micro-benchmarks ---
 
+// BenchmarkRun measures one full simulation per kernel × controller at
+// n=1024, plus long-stream (64K-element) variants at the scale a
+// downstream sweep would run. These are the hot-path numbers the
+// event-driven core refactor is pinned against (docs/PERFORMANCE.md,
+// BENCH_core_speed.json).
+func BenchmarkRun(b *testing.B) {
+	controllers := []struct {
+		name string
+		mode rdramstream.Controller
+	}{
+		{"smc", rdramstream.SMC},
+		{"natural", rdramstream.NaturalOrder},
+	}
+	for _, kn := range []string{"copy", "daxpy", "hydro", "vaxpy"} {
+		for _, c := range controllers {
+			sc := rdramstream.Scenario{
+				KernelName: kn, N: 1024, Scheme: rdramstream.PI, Mode: c.mode,
+				FIFODepth: 128, Placement: rdramstream.Staggered, SkipVerify: true,
+			}
+			b.Run(kn+"/"+c.name, func(b *testing.B) { benchScenario(b, sc) })
+		}
+	}
+	for _, c := range controllers {
+		sc := rdramstream.Scenario{
+			KernelName: "daxpy", N: 65536, Scheme: rdramstream.PI, Mode: c.mode,
+			FIFODepth: 128, Placement: rdramstream.Staggered, SkipVerify: true,
+		}
+		b.Run("long/daxpy/"+c.name, func(b *testing.B) { benchScenario(b, sc) })
+	}
+}
+
+func benchScenario(b *testing.B, sc rdramstream.Scenario) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rdramstream.Simulate(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDeviceOpenPageRead measures the raw device model: back-to-back
 // page-hit packet reads.
 func BenchmarkDeviceOpenPageRead(b *testing.B) {

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"rdramstream/internal/experiments"
+	"rdramstream/internal/obs"
 	"rdramstream/internal/version"
 )
 
@@ -31,12 +32,20 @@ func main() {
 	svgDir := flag.String("svg", "", "directory to write SVG renderings of Figures 7, 8, and 9")
 	workers := flag.Int("workers", 0, "worker count for figure regeneration (0 = GOMAXPROCS, 1 = serial)")
 	showVersion := flag.Bool("version", false, "print the version stamp and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Println(version.Stamp())
 		return
 	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	writeSVG := func(name, content string) {
 		if *svgDir == "" {

@@ -1,0 +1,216 @@
+// Core-simulator speed benchmark (-bench-core): times the pinned
+// hot-path scenarios of bench_test.go on the current build and writes
+// BENCH_core_speed.json comparing each against the tick-era baseline —
+// the numbers measured just before the event-driven core refactor
+// (skip-to-next-event wake-ups, de-virtualized inner path, pooled
+// per-scenario allocations; see docs/PERFORMANCE.md).
+//
+// With -check <file> it instead re-times the gated scenarios and exits
+// non-zero if any regresses more than 2x over the committed
+// afterNsPerOp — the CI backstop that keeps the speedup from silently
+// eroding. Only the long-stream scenario is gated: at ~10ms/run its
+// min-of-N timing is stable on shared CI runners, where the sub-ms
+// scenarios are not.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"rdramstream"
+)
+
+// coreCase is one pinned scenario plus its pre-refactor baseline.
+type coreCase struct {
+	name     string
+	desc     string
+	sc       rdramstream.Scenario
+	beforeNs int64 // min wall ns/run on the tick-era core
+	beforeAl int64 // heap allocations/run on the tick-era core
+	gate     bool  // include in the -check CI regression gate
+}
+
+// coreCases pins the scenarios and their baselines. The before numbers
+// were measured at commit 8da18f5 — the last commit with the tick-era
+// core (per-iteration planning slices, map-backed device pages seeded
+// even under SkipVerify, interface dispatch in the inner loop) — on the
+// same benchmark definitions (min of 7 runs, allocs via MemStats).
+func coreCases() []coreCase {
+	return []coreCase{
+		{
+			name: "SMCCopy1024",
+			desc: "copy n=1024 CLI/smc fifo=128 staggered",
+			sc: rdramstream.Scenario{
+				KernelName: "copy", N: 1024, Scheme: rdramstream.CLI,
+				Mode: rdramstream.SMC, FIFODepth: 128,
+				Placement: rdramstream.Staggered, SkipVerify: true,
+			},
+			beforeNs: 918_000, beforeAl: 8_353,
+		},
+		{
+			name: "NaturalOrderDaxpy1024",
+			desc: "daxpy n=1024 PI/natural staggered",
+			sc: rdramstream.Scenario{
+				KernelName: "daxpy", N: 1024, Scheme: rdramstream.PI,
+				Mode:      rdramstream.NaturalOrder,
+				Placement: rdramstream.Staggered, SkipVerify: true,
+			},
+			beforeNs: 540_000, beforeAl: 1_658,
+		},
+		{
+			name: "SMCLongVector",
+			desc: "daxpy n=65536 PI/smc fifo=128 staggered",
+			sc: rdramstream.Scenario{
+				KernelName: "daxpy", N: 65536, Scheme: rdramstream.PI,
+				Mode: rdramstream.SMC, FIFODepth: 128,
+				Placement: rdramstream.Staggered, SkipVerify: true,
+			},
+			beforeNs: 73_000_000, beforeAl: 723_267,
+			gate: true,
+		},
+	}
+}
+
+// coreEntry is one before/after comparison in BENCH_core_speed.json.
+type coreEntry struct {
+	Name              string  `json:"name"`
+	Scenario          string  `json:"scenario"`
+	BeforeNsPerOp     int64   `json:"beforeNsPerOp"`
+	BeforeAllocsPerOp int64   `json:"beforeAllocsPerOp"`
+	AfterNsPerOp      int64   `json:"afterNsPerOp"`
+	AfterAllocsPerOp  int64   `json:"afterAllocsPerOp"`
+	Speedup           float64 `json:"speedup"`
+	RegressionGate    bool    `json:"regressionGate"`
+}
+
+// coreReport is the BENCH_core_speed.json schema.
+type coreReport struct {
+	BaselineCommit string      `json:"baselineCommit"`
+	Iterations     int         `json:"iterations"`
+	Scenarios      []coreEntry `json:"scenarios"`
+	Note           string      `json:"note"`
+}
+
+// timeCore returns the minimum wall time over iters runs — the
+// least-noise estimator for a deterministic simulation.
+func timeCore(sc rdramstream.Scenario, iters int) int64 {
+	best := int64(0)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if _, err := rdramstream.Simulate(sc); err != nil {
+			fatalf("bench-core: %v", err)
+		}
+		d := time.Since(start).Nanoseconds()
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// allocsCore measures heap allocations per run via MemStats deltas.
+// A warm-up run first fills the scratch pools so the steady-state
+// (sweep-loop) allocation count is what gets reported.
+func allocsCore(sc rdramstream.Scenario) int64 {
+	if _, err := rdramstream.Simulate(sc); err != nil {
+		fatalf("bench-core: %v", err)
+	}
+	const iters = 3
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < iters; i++ {
+		if _, err := rdramstream.Simulate(sc); err != nil {
+			fatalf("bench-core: %v", err)
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	return int64(m1.Mallocs-m0.Mallocs) / iters
+}
+
+// runCoreBench times every pinned scenario and writes the comparison.
+func runCoreBench(iters int, outPath string) {
+	if iters < 1 {
+		iters = 1
+	}
+	rep := coreReport{
+		BaselineCommit: "8da18f5",
+		Iterations:     iters,
+		Note: "before = tick-era core at the baseline commit; after = current " +
+			"build with the event-driven core (skip-to-next-event wake-ups, " +
+			"de-virtualized inner path, pooled per-scenario allocations). " +
+			"ns/op is the min wall time over the timed iterations; allocs/op " +
+			"is the steady-state MemStats.Mallocs delta per run after a " +
+			"pool-warming iteration. See docs/PERFORMANCE.md.",
+	}
+	for _, c := range coreCases() {
+		timeCore(c.sc, 1) // warm-up
+		ns := timeCore(c.sc, iters)
+		al := allocsCore(c.sc)
+		rep.Scenarios = append(rep.Scenarios, coreEntry{
+			Name: c.name, Scenario: c.desc,
+			BeforeNsPerOp: c.beforeNs, BeforeAllocsPerOp: c.beforeAl,
+			AfterNsPerOp: ns, AfterAllocsPerOp: al,
+			Speedup:        float64(c.beforeNs) / float64(ns),
+			RegressionGate: c.gate,
+		})
+	}
+	if err := writeFile(outPath, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}); err != nil {
+		fatalf("%v", err)
+	}
+	for _, e := range rep.Scenarios {
+		fmt.Printf("%-24s before %9d ns %7d allocs, after %9d ns %5d allocs (%.1fx)\n",
+			e.Name, e.BeforeNsPerOp, e.BeforeAllocsPerOp, e.AfterNsPerOp, e.AfterAllocsPerOp, e.Speedup)
+	}
+	fmt.Printf("-> %s\n", outPath)
+}
+
+// checkCoreBench re-times the gated scenarios against a committed
+// BENCH_core_speed.json and fails on a >2x ns/op regression.
+func checkCoreBench(path string, iters int) {
+	if iters < 1 {
+		iters = 1
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("bench-core check: %v", err)
+	}
+	var rep coreReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fatalf("bench-core check: %s: %v", path, err)
+	}
+	committed := make(map[string]coreEntry, len(rep.Scenarios))
+	for _, e := range rep.Scenarios {
+		committed[e.Name] = e
+	}
+	failed := false
+	for _, c := range coreCases() {
+		e, ok := committed[c.name]
+		if !ok {
+			fatalf("bench-core check: %s missing scenario %s (regenerate with -bench-core)", path, c.name)
+		}
+		timeCore(c.sc, 1) // warm-up
+		ns := timeCore(c.sc, iters)
+		ratio := float64(ns) / float64(e.AfterNsPerOp)
+		status := "info"
+		if c.gate {
+			status = "ok"
+			if ratio > 2 {
+				status = "REGRESSION"
+				failed = true
+			}
+		}
+		fmt.Printf("%-24s committed %9d ns, now %9d ns (%.2fx) [%s]\n",
+			c.name, e.AfterNsPerOp, ns, ratio, status)
+	}
+	if failed {
+		fatalf("bench-core check: gated scenario regressed >2x vs %s", path)
+	}
+}

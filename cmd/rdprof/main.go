@@ -14,10 +14,16 @@
 //	rdprof -kernel daxpy -n 1024 -mode smc -scheme pi -fifo 128 -out profile
 //	rdprof -kernel hydro -mode natural -scheme cli -window 128
 //	rdprof -bench -bench-out BENCH_telemetry.json
+//	rdprof -bench-core -bench-core-out BENCH_core_speed.json
+//	rdprof -check BENCH_core_speed.json
 //
 // The -bench mode measures telemetry overhead instead: it times the
 // daxpy/SMC/PI scenario with telemetry off and on and writes a JSON
 // comparison (the repo's BENCH_telemetry.json is produced this way).
+// The -bench-core mode times the pinned hot-path scenarios against the
+// pre-refactor baselines and writes BENCH_core_speed.json; -check
+// re-times the gated scenarios against a committed copy and fails on a
+// >2x regression (the CI backstop).
 package main
 
 import (
@@ -52,6 +58,9 @@ func main() {
 	bench := flag.Bool("bench", false, "measure telemetry overhead instead of profiling")
 	benchOut := flag.String("bench-out", "BENCH_telemetry.json", "output file for -bench")
 	benchIters := flag.Int("bench-iters", 7, "timed iterations per configuration for -bench")
+	benchCore := flag.Bool("bench-core", false, "measure core simulator speed against the pinned pre-refactor baselines")
+	benchCoreOut := flag.String("bench-core-out", "BENCH_core_speed.json", "output file for -bench-core")
+	checkCore := flag.String("check", "", "re-time the gated scenarios against this committed BENCH_core_speed.json and fail on a >2x regression")
 	offOverhead := flag.Float64("off-overhead-pct", 0, "record this externally measured telemetry-off-vs-uninstrumented overhead percentage in the -bench output")
 	showVersion := flag.Bool("version", false, "print the version stamp and exit")
 	flag.Parse()
@@ -102,6 +111,14 @@ func main() {
 		fatalf("unknown placement %q", *placement)
 	}
 
+	if *checkCore != "" {
+		checkCoreBench(*checkCore, *benchIters)
+		return
+	}
+	if *benchCore {
+		runCoreBench(*benchIters, *benchCoreOut)
+		return
+	}
 	if *bench {
 		runBench(sc, *benchIters, *benchOut, *offOverhead)
 		return

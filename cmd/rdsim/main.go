@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"rdramstream"
+	"rdramstream/internal/obs"
 	"rdramstream/internal/version"
 )
 
@@ -50,11 +51,18 @@ func main() {
 	chromeTrace := flag.String("chrome-trace", "", "write a Chrome trace-event JSON file (per-bank and per-FIFO tracks, viewable in Perfetto)")
 	window := flag.Int64("window", 256, "telemetry time-series window in cycles")
 	showVersion := flag.Bool("version", false, "print the version stamp and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Println(version.Stamp())
 		return
+	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	sc := rdramstream.Scenario{
@@ -81,7 +89,6 @@ func main() {
 		sc.Fault = &fc
 	}
 
-	var err error
 	if sc.Scheme, err = rdramstream.ParseInterleave(*scheme); err != nil {
 		fatalf("%v", err)
 	}
@@ -191,6 +198,7 @@ func main() {
 			exit = 2
 		}
 	}
+	stopProfiles() // main exits via os.Exit, so no defer
 	os.Exit(exit)
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"rdramstream"
 	"rdramstream/internal/experiments"
+	"rdramstream/internal/obs"
 	"rdramstream/internal/service/client"
 	"rdramstream/internal/sim"
 	"rdramstream/internal/version"
@@ -43,12 +44,21 @@ func main() {
 	benchOut := flag.String("bench-out", "", "time the sweep serial vs parallel and write a JSON report to this file")
 	server := flag.String("server", "", "offload scenario execution to a running rdserved at this base URL (e.g. http://localhost:8347); repeated sweeps hit its result cache")
 	showVersion := flag.Bool("version", false, "print the version stamp and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Println(version.Stamp())
 		return
 	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *faults != "" {
 		faultSweep(*faults, *kernel, *n, *parallel, *server)

@@ -21,8 +21,11 @@ func Peek(dev *rdram.Device, m *addrmap.Mapper, addr int64) uint64 {
 // loop-carried values are seen; unwritten addresses read current device
 // contents.
 func StoreValues(dev *rdram.Device, m *addrmap.Mapper, k *stream.Kernel) map[int64]uint64 {
-	shadow := make(map[int64]uint64)
-	vals := make(map[int64]uint64)
+	// At most iterations × write-streams distinct words are stored; sizing
+	// the maps up front avoids rehash churn on long streams.
+	n := k.Iterations() * (len(k.Streams) - k.ReadStreams())
+	shadow := make(map[int64]uint64, n)
+	vals := make(map[int64]uint64, n)
 	k.Replay(
 		func(addr int64) uint64 {
 			if v, ok := shadow[addr]; ok {
@@ -54,10 +57,12 @@ func Attach(dev *rdram.Device, col *telemetry.Collector, idle telemetry.StallCau
 
 // Window models the device's bounded pipeline of outstanding transactions
 // (the Direct RDRAM supports four): a transaction may not be presented
-// before the one `limit` positions back has completed.
+// before the one `limit` positions back has completed. Completion times
+// live in a fixed ring of limit entries — only the last limit matter, and
+// the append-forever slice this replaced grew with the run length.
 type Window struct {
-	limit int
-	done  []int64
+	done []int64 // ring: done[n%limit] completed transaction n-limit
+	n    int     // transactions completed so far
 }
 
 // NewWindow builds a window admitting up to limit concurrent transactions;
@@ -66,18 +71,21 @@ func NewWindow(limit int) *Window {
 	if limit <= 0 {
 		panic("engine: Window limit must be positive")
 	}
-	return &Window{limit: limit}
+	return &Window{done: make([]int64, limit)}
 }
 
 // Admit returns the earliest time a new transaction may be presented, no
 // earlier than at.
 func (w *Window) Admit(at int64) int64 {
-	if len(w.done) >= w.limit {
-		at = max(at, w.done[len(w.done)-w.limit])
+	if w.n >= len(w.done) {
+		at = max(at, w.done[w.n%len(w.done)])
 	}
 	return at
 }
 
 // Complete records an admitted transaction's completion time. Calls must
 // be in admission order.
-func (w *Window) Complete(t int64) { w.done = append(w.done, t) }
+func (w *Window) Complete(t int64) {
+	w.done[w.n%len(w.done)] = t
+	w.n++
+}

@@ -34,12 +34,16 @@ type Ports interface {
 // computation infinitely fast, blocking whenever the controller has not
 // made the next element's data or slot available.
 type FrontEnd struct {
-	walker  *cpu.Walker
-	xfer    int64
-	pending *cpu.Access
-	time    int64
-	stall   int64
-	done    bool
+	walker *cpu.Walker
+	xfer   int64
+	// pending is held by value: taking the address of the walker's result
+	// forced one heap allocation per access (a third of the hot loop's
+	// allocations), and the access is plain data.
+	pending    cpu.Access
+	hasPending bool
+	time       int64
+	stall      int64
+	done       bool
 }
 
 // NewFrontEnd validates the kernel and builds a front-end that completes
@@ -67,15 +71,15 @@ func (fe *FrontEnd) Done() bool { return fe.done }
 // not scheduled the data or slot the next access needs.
 func (fe *FrontEnd) Advance(limit int64, p Ports) {
 	for {
-		if fe.pending == nil {
+		if !fe.hasPending {
 			a, ok := fe.walker.Next()
 			if !ok {
 				fe.done = true
 				return
 			}
-			fe.pending = &a
+			fe.pending, fe.hasPending = a, true
 		}
-		a := fe.pending
+		a := &fe.pending
 		var wait int64
 		if a.Write {
 			wait = p.WriteFree(a.Stream)
@@ -97,7 +101,7 @@ func (fe *FrontEnd) Advance(limit int64, p Ports) {
 		} else {
 			fe.walker.SupplyRead(p.PopRead(a.Stream, done))
 		}
-		fe.pending = nil
+		fe.hasPending = false
 	}
 }
 
@@ -105,11 +109,11 @@ func (fe *FrontEnd) Advance(limit int64, p Ports) {
 // it is schedulable, or Unscheduled if the CPU is waiting on the
 // controller (or finished).
 func (fe *FrontEnd) NextEvent(p Ports) int64 {
-	if fe.pending == nil {
+	if !fe.hasPending {
 		// Advance always leaves a pending access unless the walk is done.
 		return Unscheduled
 	}
-	a := fe.pending
+	a := &fe.pending
 	var wait int64
 	if a.Write {
 		wait = p.WriteFree(a.Stream)

@@ -21,6 +21,10 @@ func TestDeterminism(t *testing.T) {
 			dirs: []string{"determinism/obs"},
 		},
 		{
+			name: "event-queue scheduling: wall-clock bounds and rand tie-breaks trip, pure event-min does not",
+			dirs: []string{"determinism/smc"},
+		},
+		{
 			name: "both together still only flag the core",
 			dirs: []string{"determinism", "determinism/clock"},
 		},

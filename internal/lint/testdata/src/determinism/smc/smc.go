@@ -1,0 +1,47 @@
+// Package smc is a lint fixture: it borrows the stream-controller core
+// package's name and seeds the nondeterminism bugs an event-queue
+// scheduler invites. The skip-to-next-event loop computes its wake-up as
+// a pure min over simulated event times; reaching for the wall clock to
+// bound a quiet queue, or for the global generator to break wake-up
+// ties, silently breaks the serial-vs-parallel and fault byte-identity
+// claims, so both must be flagged even though the surrounding code looks
+// like ordinary scheduling logic.
+package smc
+
+import (
+	"math/rand"
+	"time"
+)
+
+const noEvent = int64(-1)
+
+// NextWakeup is the required idiom: the scheduler's wake-up is the
+// minimum of its pending simulated event times — a pure function of the
+// queue. Nothing here is flagged.
+func NextWakeup(events []int64) int64 {
+	next := noEvent
+	for _, t := range events {
+		if t >= 0 && (next == noEvent || t < next) {
+			next = t
+		}
+	}
+	return next
+}
+
+// WatchdogDeadline bounds a quiet event queue on the wall clock, which
+// the core must never do: the watchdog counts simulated cycles.
+func WatchdogDeadline() time.Time {
+	return time.Now().Add(5 * time.Second) // want "time.Now in simulation core"
+}
+
+// TieBreak picks among simultaneously ready FIFOs with the shared global
+// generator, making the service order seed-independent.
+func TieBreak(ready int) int {
+	return rand.Intn(ready) // want "global math/rand.Intn"
+}
+
+// AwaitQuiet spins the scheduler on real time instead of jumping
+// simulated time to the next event.
+func AwaitQuiet() {
+	time.Sleep(time.Millisecond) // want "time.Sleep in simulation core"
+}

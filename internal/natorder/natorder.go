@@ -229,7 +229,7 @@ func (s *sim) run(k *stream.Kernel, storeVals map[int64]uint64) error {
 			if st.line != line {
 				st.line = line
 				var err error
-				st.pktStarts, err = s.fetchLine(line, max(s.cursor, prevDep), autoPre)
+				st.pktStarts, err = s.fetchLine(line, max(s.cursor, prevDep), autoPre, st.pktStarts)
 				if err != nil {
 					return err
 				}
@@ -258,7 +258,7 @@ func (s *sim) run(k *stream.Kernel, storeVals map[int64]uint64) error {
 					}
 				}
 				var err error
-				st.pktStarts, err = s.fetchLine(line, max(s.cursor, iterDep), autoPre)
+				st.pktStarts, err = s.fetchLine(line, max(s.cursor, iterDep), autoPre, st.pktStarts)
 				if err != nil {
 					return err
 				}
@@ -284,15 +284,16 @@ func (s *sim) run(k *stream.Kernel, storeVals map[int64]uint64) error {
 }
 
 // fetchLine reads every packet of a cacheline and returns each packet's
-// DataStart (the linefill-forwarding availability times). Transient device
-// rejections under fault injection are retried with bounded backoff
-// (engine.Issue); exhausting the retries fails the run.
-func (s *sim) fetchLine(line, at int64, autoPre bool) ([]int64, error) {
+// DataStart (the linefill-forwarding availability times), appending into
+// dst's backing so each stream reuses one buffer for the whole run.
+// Transient device rejections under fault injection are retried with
+// bounded backoff (engine.Issue); exhausting the retries fails the run.
+func (s *sim) fetchLine(line, at int64, autoPre bool, dst []int64) ([]int64, error) {
 	reqAt := at
 	at = s.window.Admit(at)
 	packets := s.cfg.LineWords / rdram.WordsPerPacket
 	base := line * int64(s.cfg.LineWords)
-	starts := make([]int64, packets)
+	starts := dst[:0]
 	var complete int64
 	for p := 0; p < packets; p++ {
 		loc := s.mapper.Map(base + int64(p*rdram.WordsPerPacket))
@@ -310,7 +311,7 @@ func (s *sim) fetchLine(line, at int64, autoPre bool) ([]int64, error) {
 			// word forwarded.
 			s.ctl.ObserveMissLatency(res.DataStart - reqAt)
 		}
-		starts[p] = res.DataStart
+		starts = append(starts, res.DataStart)
 		complete = res.DataEnd
 	}
 	s.window.Complete(complete)

@@ -34,6 +34,7 @@ func (s *sim) runThroughCache(k *stream.Kernel, cc *cache.Cache, storeVals map[i
 			}
 			res := cc.Access(line, write)
 			if !res.Hit {
+				var dst []int64 // recycle the victim's availability buffer
 				if res.Evicted >= 0 {
 					if res.EvictedDirty {
 						// Victim writeback precedes the fill on the bus.
@@ -41,9 +42,10 @@ func (s *sim) runThroughCache(k *stream.Kernel, cc *cache.Cache, storeVals map[i
 							return err
 						}
 					}
+					dst = ready[res.Evicted]
 					delete(ready, res.Evicted)
 				}
-				starts, err := s.fetchLine(line, max(s.cursor, gate), autoPre)
+				starts, err := s.fetchLine(line, max(s.cursor, gate), autoPre, dst)
 				if err != nil {
 					return err
 				}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling to cpuPath and arranges a heap
+// profile at memPath; either path may be empty to skip that profile.
+// It returns a stop function that flushes and closes the profiles —
+// call it (usually via defer) before the process exits.
+//
+// This is the one -cpuprofile/-memprofile implementation shared by the
+// CLI commands (rdsim, sweep, paperfigs), so profiling a slow sweep is
+// always one flag away:
+//
+//	sweep -var length -cpuprofile cpu.out && go tool pprof cpu.out
+//
+// Profiling is wall-clock observability and lives here for the same
+// reason the trace ring does: nothing in the deterministic simulation
+// core may import it.
+func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "obs: mem profile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize the live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: mem profile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

@@ -72,7 +72,16 @@ type Device struct {
 	nextRefresh int64
 	refreshBank int
 
-	pages map[int][]uint64 // sparse functional storage, keyed by page id
+	pages   map[int][]uint64 // sparse functional storage, keyed by page id
+	pool    *PagePool        // optional recycler behind pageSlot
+	noStore bool             // timing-only mode: skip the functional store
+
+	// Derived constants hoisted from the configuration at construction so
+	// the per-access path does no geometry arithmetic: packetsPerPage and
+	// the banks-per-chip divisor used to be recomputed on every checkAddr
+	// and every t_RR lookup.
+	packetsPerPage int
+	banksPerDev    int
 
 	stats Stats
 
@@ -101,12 +110,14 @@ func NewDevice(cfg Config) *Device {
 		panic(err)
 	}
 	d := &Device{
-		cfg:           cfg,
-		banks:         make([]bankState, cfg.Geometry.Banks),
-		pages:         make(map[int][]uint64),
-		lastAct:       make([]int64, cfg.Geometry.Devices()),
-		anyAct:        make([]bool, cfg.Geometry.Devices()),
-		pendingRetire: make([]bool, cfg.Geometry.Devices()),
+		cfg:            cfg,
+		banks:          make([]bankState, cfg.Geometry.Banks),
+		pages:          make(map[int][]uint64),
+		lastAct:        make([]int64, cfg.Geometry.Devices()),
+		anyAct:         make([]bool, cfg.Geometry.Devices()),
+		pendingRetire:  make([]bool, cfg.Geometry.Devices()),
+		packetsPerPage: cfg.Geometry.PageWords / WordsPerPacket,
+		banksPerDev:    cfg.Geometry.BanksPerDevice(),
 	}
 	if cfg.RefreshInterval > 0 {
 		d.nextRefresh = cfg.RefreshInterval
@@ -121,14 +132,12 @@ func (d *Device) Config() Config { return d.cfg }
 func (d *Device) Stats() Stats { return d.stats }
 
 // PacketsPerPage is the number of DATA packets held by one page.
-func (d *Device) PacketsPerPage() int {
-	return d.cfg.Geometry.PageWords / WordsPerPacket
-}
+func (d *Device) PacketsPerPage() int { return d.packetsPerPage }
 
 func (d *Device) checkAddr(bank, row, col int) {
 	g := d.cfg.Geometry
 	if bank < 0 || bank >= g.Banks || row < 0 || row >= g.PagesPerBank ||
-		col < 0 || col >= d.PacketsPerPage() {
+		col < 0 || col >= d.packetsPerPage {
 		panic(fmt.Sprintf("rdram: address out of range: bank=%d row=%d col=%d (geometry %+v)", bank, row, col, g))
 	}
 }
@@ -191,7 +200,7 @@ func (d *Device) activateAt(b, row int, at int64) int64 {
 			at = max(at, pre+int64(t.TRP))
 		}
 	}
-	dev := d.cfg.Geometry.deviceOf(b)
+	dev := b / d.banksPerDev
 	ta := max(at, d.rowBusFree)
 	ta = max(ta, bk.preDone)
 	if d.anyAct[dev] {
@@ -259,7 +268,7 @@ func (d *Device) AccessReadyAt(bank, row int, at int64) int64 {
 	} else {
 		ready = max(ready, bk.preDone)
 	}
-	if dev := d.cfg.Geometry.deviceOf(bank); d.anyAct[dev] {
+	if dev := bank / d.banksPerDev; d.anyAct[dev] {
 		ready = max(ready, d.lastAct[dev]+int64(t.TRR))
 	}
 	if bk.everActed {
@@ -350,7 +359,9 @@ func (d *Device) Attempt(at int64, req Request) (Result, bool) {
 			return Result{}, false
 		}
 	}
-	d.maybeRefresh(at)
+	if d.cfg.RefreshInterval > 0 {
+		d.maybeRefresh(at)
+	}
 	t := &d.cfg.Timing
 	bk := &d.banks[req.Bank]
 
@@ -376,7 +387,9 @@ func (d *Device) Attempt(at int64, req Request) (Result, bool) {
 		res.ActIssue = d.activateAt(req.Bank, req.Row, at)
 		d.stats.PageMisses++
 	}
-	d.Telemetry.OnAccess(req.Bank, res.PageHit, res.PreIssue >= 0)
+	if d.Telemetry != nil {
+		d.Telemetry.OnAccess(req.Bank, res.PageHit, res.PreIssue >= 0)
+	}
 	rcdReady := bk.rcdReady
 	if res.ActIssue >= 0 && fault.RCDExtra > 0 {
 		// RCDExtra jitter delays the first column access to the freshly
@@ -392,7 +405,7 @@ func (d *Device) Attempt(at int64, req Request) (Result, bool) {
 	// t_RDLY into t_RW, which we enforce on the DATA bus below — so the RET
 	// is emitted for the trace and counted, but does not consume an extra
 	// critical-path column-bus slot.
-	reqDev := d.cfg.Geometry.deviceOf(req.Bank)
+	reqDev := req.Bank / d.banksPerDev
 	if !req.Write && d.pendingRetire[reqDev] {
 		d.pendingRetire[reqDev] = false
 		d.stats.Retires++
@@ -443,19 +456,22 @@ func (d *Device) Attempt(at int64, req Request) (Result, bool) {
 		d.Telemetry.OnData(req.Bank, req.Write, ds, de)
 	}
 
-	page := d.pageSlot(req.Bank, req.Row)
 	w := req.Col * WordsPerPacket
 	if req.Write {
 		d.pendingRetire[reqDev] = true
 		d.lastWriteDataEnd = de
 		d.anyWrite = true
 		d.stats.Writes++
-		copy(page[w:w+WordsPerPacket], req.Data[:])
+		if !d.noStore {
+			copy(d.pageSlot(req.Bank, req.Row)[w:w+WordsPerPacket], req.Data[:])
+		}
 		d.emit(TraceWriteCol, tc, t.TPack, req.Bank, req.Row, req.Col)
 		d.emit(TraceWriteData, ds, t.TPack, req.Bank, req.Row, req.Col)
 	} else {
 		d.stats.Reads++
-		copy(res.Data[:], page[w:w+WordsPerPacket])
+		if !d.noStore {
+			copy(res.Data[:], d.pageSlot(req.Bank, req.Row)[w:w+WordsPerPacket])
+		}
 		d.emit(TraceReadCol, tc, t.TPack, req.Bank, req.Row, req.Col)
 		d.emit(TraceReadData, ds, t.TPack, req.Bank, req.Row, req.Col)
 	}
@@ -517,17 +533,115 @@ func (d *Device) attributeIdle(prevFree, at, trwBound, rcdReady, ds int64, res *
 	charge(telemetry.StallColumn, ds)
 }
 
+// NoEvent is NextEventAt's answer when no device state change is scheduled
+// after the queried time.
+const NoEvent = int64(-1)
+
+// NextEventAt returns the earliest cycle strictly after now at which any
+// device resource changes state: a bank finishing its precharge (t_RP) or
+// becoming column-ready (t_RCD), a command or DATA bus freeing, the
+// read-after-write turnaround window closing, or the refresh timer firing.
+// It is a pure query.
+//
+// Callers use it to jump simulated time instead of crawling cycle-by-cycle.
+// Note that for the decoupled controllers a device event alone never makes
+// a *new* request issuable — FIFO occupancy changes only at CPU and retry
+// events — so the schedulers min their own event sets and use NextEventAt
+// for stall diagnostics and tests (see docs/PERFORMANCE.md for why folding
+// it into the scheduler wake-ups would split telemetry idle episodes).
+func (d *Device) NextEventAt(now int64) int64 {
+	next := NoEvent
+	consider := func(t int64) {
+		if t > now && (next == NoEvent || t < next) {
+			next = t
+		}
+	}
+	if d.cfg.RefreshInterval > 0 {
+		consider(d.nextRefresh)
+	}
+	consider(d.rowBusFree)
+	consider(d.colBusFree)
+	consider(d.dataBusFree)
+	if d.anyWrite {
+		consider(d.lastWriteDataEnd + int64(d.cfg.Timing.TRW))
+	}
+	for i := range d.banks {
+		bk := &d.banks[i]
+		consider(bk.preDone)
+		if bk.open {
+			consider(bk.rcdReady)
+		}
+	}
+	return next
+}
+
 // pageSlot returns the storage backing (bank,row), allocating it on first
-// touch so that untouched memory costs nothing.
+// touch so that untouched memory costs nothing. With a PagePool attached
+// the backing comes from the pool instead of the heap.
 func (d *Device) pageSlot(bank, row int) []uint64 {
 	id := bank*d.cfg.Geometry.PagesPerBank + row
 	p, ok := d.pages[id]
 	if !ok {
-		p = make([]uint64, d.cfg.Geometry.PageWords)
+		if d.pool != nil {
+			p = d.pool.get(d.cfg.Geometry.PageWords)
+		} else {
+			p = make([]uint64, d.cfg.Geometry.PageWords)
+		}
 		d.pages[id] = p
 	}
 	return p
 }
+
+// SetTimingOnly disables the functional store: accesses move no data
+// (reads return zeros, PokeWord is a no-op) and page slots are never
+// allocated. Data values never influence the timing model — scheduling is
+// purely address-driven — so a timing-only run is cycle-identical to a
+// functional one; the harness enables this for SkipVerify runs, where the
+// memory image is never inspected.
+func (d *Device) SetTimingOnly(on bool) { d.noStore = on }
+
+// UsePagePool routes this device's page-slot allocations through pool.
+// It must be attached before the first access; the pool is not safe for
+// concurrent use, so share one only between devices driven by the same
+// goroutine (the sweep harness keeps one per worker).
+func (d *Device) UsePagePool(pool *PagePool) { d.pool = pool }
+
+// ReleasePages returns every touched page to the attached pool and clears
+// the functional store. The device must not be used afterwards; the sweep
+// harness calls this once a scenario's verification is done.
+func (d *Device) ReleasePages() {
+	if d.pool == nil {
+		return
+	}
+	for _, p := range d.pages {
+		d.pool.put(p)
+	}
+	clear(d.pages)
+}
+
+// PagePool recycles page-slot backing arrays across simulations, the
+// largest per-scenario allocation a sweep repeats. Pages are zeroed on
+// reuse, because the functional store promises zero-filled memory on first
+// touch. Not safe for concurrent use.
+type PagePool struct {
+	free [][]uint64
+}
+
+// get returns a zeroed page of exactly words words.
+func (p *PagePool) get(words int) []uint64 {
+	for len(p.free) > 0 {
+		pg := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		if len(pg) == words {
+			clear(pg)
+			return pg
+		}
+		// A geometry change mid-sweep strands old sizes; drop them.
+	}
+	return make([]uint64, words)
+}
+
+func (p *PagePool) put(pg []uint64) { p.free = append(p.free, pg) }
 
 // PeekWord returns the stored 64-bit word at the given packet-level
 // coordinates plus word offset, for functional verification in tests.
@@ -535,6 +649,9 @@ func (d *Device) PeekWord(bank, row, col, word int) uint64 {
 	d.checkAddr(bank, row, col)
 	if word < 0 || word >= WordsPerPacket {
 		panic(fmt.Sprintf("rdram: word offset %d out of range", word))
+	}
+	if d.noStore {
+		return 0
 	}
 	return d.pageSlot(bank, row)[col*WordsPerPacket+word]
 }
@@ -545,6 +662,9 @@ func (d *Device) PokeWord(bank, row, col, word int, v uint64) {
 	d.checkAddr(bank, row, col)
 	if word < 0 || word >= WordsPerPacket {
 		panic(fmt.Sprintf("rdram: word offset %d out of range", word))
+	}
+	if d.noStore {
+		return
 	}
 	d.pageSlot(bank, row)[col*WordsPerPacket+word] = v
 }

@@ -122,10 +122,47 @@ func TestWatchdogAbortsWedgedController(t *testing.T) {
 	if we.Dump == "" {
 		t.Fatal("watchdog fired without a state dump")
 	}
-	for _, want := range []string{"read fifo", "rejects", "device:"} {
+	// The dump carries the event-queue diagnostics: the scheduler's next
+	// wake-up and the device's next event, so a quiet-queue wedge (every
+	// access rejected, nothing left to wake for) is visible at a glance.
+	for _, want := range []string{"read fifo", "rejects", "device:", "wakeup=", "nextEvent="} {
 		if !strings.Contains(we.Dump, want) {
 			t.Errorf("dump missing %q:\n%s", want, we.Dump)
 		}
+	}
+}
+
+// TestFaultRejectionAfterJump: a transient rejection puts the MSU to sleep
+// until its retry backoff, and it re-presents on the first cycle after
+// that jump — where the injector must draw again, exactly once per
+// presentation. Heavy rejection probability exercises many jump-then-draw
+// boundaries; the run must complete, verify, and be byte-identical on a
+// repeat (the draw discipline of 4 draws per access is what keeps the
+// sequences aligned).
+func TestFaultRejectionAfterJump(t *testing.T) {
+	sc := Scenario{
+		KernelName: "daxpy", N: 256, Scheme: addrmap.PI, Mode: SMC,
+		FIFODepth: 16, Placement: stream.Staggered, Seed: 9,
+		Fault: &fault.Config{Seed: 21, RejectProb: 0.8},
+	}
+	first, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Verified {
+		t.Fatal("heavy-rejection run did not verify")
+	}
+	if first.Device.Rejections == 0 {
+		t.Fatal("RejectProb=0.8 produced no rejections")
+	}
+	second, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aCSV, aJSON := renderOutcomes(t, []Outcome{first})
+	bCSV, bJSON := renderOutcomes(t, []Outcome{second})
+	if !bytes.Equal(aCSV, bCSV) || !bytes.Equal(aJSON, bJSON) {
+		t.Error("repeated heavy-rejection run is not byte-identical")
 	}
 }
 
@@ -184,6 +221,47 @@ func TestSweepIsolatesPanickingScenario(t *testing.T) {
 		} else if first != want {
 			t.Errorf("workers=%d: error %q differs from serial %q", workers, first, want)
 		}
+	}
+}
+
+// TestRefreshInsideIdleSpan: with no faults at all, periodic refreshes
+// landing inside the spans the event-driven MSU skips (FIFO full, CPU
+// catching up) must still be charged by the device's catch-up path, keep
+// the packet schedule protocol-legal, and leave the memory image correct.
+// A timing-only (SkipVerify) run of the same scenario must report the
+// identical cycle count: refresh catch-up cannot depend on the store.
+func TestRefreshInsideIdleSpan(t *testing.T) {
+	dev := rdram.DefaultConfig()
+	dev.RefreshInterval = 800
+	sc := Scenario{
+		KernelName: "copy", N: 512, Scheme: addrmap.PI, Mode: SMC,
+		FIFODepth: 8, Placement: stream.Staggered, Seed: 13, Device: dev,
+	}
+	var events []rdram.TraceEvent
+	withTrace := sc
+	withTrace.Trace = func(ev rdram.TraceEvent) { events = append(events, ev) }
+	out, err := Run(withTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Verified {
+		t.Fatal("not verified")
+	}
+	if out.Device.Refreshes == 0 {
+		t.Fatal("no refreshes recorded")
+	}
+	if viols := trace.NewChecker(dev).Check(events); len(viols) > 0 {
+		t.Errorf("%d protocol violations; first: %v", len(viols), viols[0])
+	}
+	skip := sc
+	skip.SkipVerify = true
+	bare, err := Run(skip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Cycles != out.Cycles || bare.Device.Refreshes != out.Device.Refreshes {
+		t.Errorf("timing-only run diverged: cycles %d vs %d, refreshes %d vs %d",
+			bare.Cycles, out.Cycles, bare.Device.Refreshes, out.Device.Refreshes)
 	}
 }
 

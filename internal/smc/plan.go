@@ -19,32 +19,50 @@ import (
 // group is one DATA-packet's worth of stream traffic: the packet a set of
 // consecutive stream elements maps to. For unit strides a group carries two
 // elements; for larger strides usually one.
+// Because planStream walks elements in order and each element lands in
+// exactly one group, a group's element indices are always the consecutive
+// range [elo, ehi) — storing the range replaced a grown per-group slice
+// that dominated sweep allocation profiles. words holds the word-within-
+// packet of each element (aligned with elo); it fits a byte since a packet
+// carries WordsPerPacket words.
 type group struct {
-	loc   addrmap.Loc // packet coordinates (Word is 0)
-	elems []int       // element indices served by this packet, ascending
-	words []int       // word-within-packet of each element
+	loc      addrmap.Loc // packet coordinates (Word is 0)
+	elo, ehi int         // element index range served by this packet
+	words    []uint8     // word-within-packet per element, ascending
 }
 
+// n is the number of elements the group serves.
+func (g group) n() int { return g.ehi - g.elo }
+
 // planStream splits a stream's elements into packet groups in element
-// order. Direct RDRAM transfers whole 128-bit packets, so this is the
-// schedule of device accesses the MSU performs for the stream.
-func planStream(m *addrmap.Mapper, s stream.Stream) []group {
-	var groups []group
-	var cur *group
+// order, appending into dst (recycled across runs by the scratch pool) with
+// word offsets carved out of the shared words slab. Direct RDRAM transfers
+// whole 128-bit packets, so this is the schedule of device accesses the MSU
+// performs for the stream.
+func planStream(m *addrmap.Mapper, s stream.Stream, dst []group, words []uint8) ([]group, []uint8) {
+	groups := dst[:0]
 	curPacket := int64(-1)
+	start := len(words)
+	seal := func() {
+		if len(groups) > 0 {
+			g := &groups[len(groups)-1]
+			g.ehi = g.elo + len(words) - start
+			g.words = words[start:len(words):len(words)]
+			start = len(words)
+		}
+	}
 	for i := 0; i < s.Length; i++ {
 		addr := s.Addr(i)
 		pkt := addrmap.PacketAddr(addr)
 		if pkt != curPacket {
-			loc := m.Map(pkt)
-			groups = append(groups, group{loc: loc})
-			cur = &groups[len(groups)-1]
+			seal()
+			groups = append(groups, group{loc: m.Map(pkt), elo: i})
 			curPacket = pkt
 		}
-		cur.elems = append(cur.elems, i)
-		cur.words = append(cur.words, int(addr-curPacket))
+		words = append(words, uint8(addr-curPacket))
 	}
-	return groups
+	seal()
+	return groups, words
 }
 
 // sameRowAs reports whether two groups address the same open row.
@@ -76,7 +94,7 @@ func (f *readFIFO) canFetch() bool {
 	if f.nextFetch >= len(f.groups) {
 		return false
 	}
-	return f.issued-f.popped+len(f.groups[f.nextFetch].elems) <= f.depth
+	return f.issued-f.popped+f.groups[f.nextFetch].n() <= f.depth
 }
 
 // headAvail returns when the CPU's next element is (or will be) available,
@@ -134,14 +152,12 @@ func (f *writeFIFO) canDrain() bool {
 	if f.nextDrain >= len(f.groups) {
 		return false
 	}
-	g := f.groups[f.nextDrain]
-	return len(f.pushedAt) >= g.elems[len(g.elems)-1]+1
+	return len(f.pushedAt) >= f.groups[f.nextDrain].ehi
 }
 
 // drainReady is the earliest time the next packet's data is in the FIFO.
 func (f *writeFIFO) drainReady() int64 {
-	g := f.groups[f.nextDrain]
-	return f.pushedAt[g.elems[len(g.elems)-1]]
+	return f.pushedAt[f.groups[f.nextDrain].ehi-1]
 }
 
 // slotFreeAt returns the earliest time the CPU can push its next element:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"rdramstream/internal/addrmap"
 	"rdramstream/internal/engine"
@@ -113,6 +114,8 @@ func Run(dev *rdram.Device, k *stream.Kernel, cfg Config) (Result, error) {
 		k:      k,
 		nr:     k.ReadStreams(),
 		wd:     engine.NewWatchdog(cfg.WatchdogLimit),
+		tPack:  int64(dev.Config().Timing.TPack),
+		tRAC:   int64(dev.Config().Timing.TRAC()),
 	}
 	if col := cfg.Telemetry; col != nil {
 		s.ctl = engine.Attach(dev, col, telemetry.StallNoRequest)
@@ -127,14 +130,49 @@ func Run(dev *rdram.Device, k *stream.Kernel, cfg Config) (Result, error) {
 			s.fprobes[i] = col.FIFO(i, fmt.Sprintf("fifo %d %s %s", i, dir, st.Name))
 		}
 	}
+	// The plan slabs and FIFO bookkeeping arrays are the run's dominant
+	// allocations and every one of them is rebuilt from scratch each run,
+	// so a sweep recycles them through a pool. Slices are reused at length
+	// zero and only ever appended to, so no zeroing is needed; every
+	// element passes through its FIFO exactly once, so first use sizes the
+	// backing exactly.
+	scr := scratchPool.Get().(*runScratch)
+	defer scratchPool.Put(scr)
+	words := scr.words[:0]
+	var groups []group
 	for i, st := range k.Streams {
-		groups := planStream(mapper, st)
+		if i >= len(scr.slabs) {
+			scr.slabs = append(scr.slabs, nil)
+		}
+		groups, words = planStream(mapper, st, scr.slabs[i][:0], words)
+		scr.slabs[i] = groups
 		if i < s.nr {
-			s.reads = append(s.reads, &readFIFO{groups: groups, depth: cfg.FIFODepth})
+			if i >= len(scr.reads) {
+				scr.reads = append(scr.reads, new(readFIFO))
+			}
+			f := scr.reads[i]
+			*f = readFIFO{groups: groups, depth: cfg.FIFODepth, avail: f.avail[:0], values: f.values[:0]}
+			if cap(f.avail) < st.Length {
+				f.avail = make([]int64, 0, st.Length)
+				f.values = make([]uint64, 0, st.Length)
+			}
+			s.reads = append(s.reads, f)
 		} else {
-			s.writes = append(s.writes, &writeFIFO{groups: groups, depth: cfg.FIFODepth})
+			j := i - s.nr
+			if j >= len(scr.writes) {
+				scr.writes = append(scr.writes, new(writeFIFO))
+			}
+			f := scr.writes[j]
+			*f = writeFIFO{groups: groups, depth: cfg.FIFODepth, pushedAt: f.pushedAt[:0], values: f.values[:0], drainAt: f.drainAt[:0]}
+			if cap(f.pushedAt) < st.Length {
+				f.pushedAt = make([]int64, 0, st.Length)
+				f.values = make([]uint64, 0, st.Length)
+				f.drainAt = make([]int64, 0, st.Length)
+			}
+			s.writes = append(s.writes, f)
 		}
 	}
+	scr.words = words
 	if err := s.run(); err != nil {
 		return Result{}, err
 	}
@@ -158,6 +196,20 @@ func Run(dev *rdram.Device, k *stream.Kernel, cfg Config) (Result, error) {
 	return res, nil
 }
 
+// runScratch is the recyclable per-run state: packet-group slabs (one per
+// stream plus the shared word-offset slab) and the FIFO structs with their
+// grown bookkeeping arrays. A sweep's scenarios check one out per run via
+// scratchPool; everything is reset by slicing to length zero, never by
+// clearing, so reuse costs nothing.
+type runScratch struct {
+	reads  []*readFIFO
+	writes []*writeFIFO
+	slabs  [][]group
+	words  []uint8
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
 type sim struct {
 	dev    *rdram.Device
 	mapper *addrmap.Mapper
@@ -175,6 +227,12 @@ type sim struct {
 	msuTime int64
 	current int // round-robin cursor over all FIFOs (reads then writes)
 
+	// Timing constants hoisted out of the issue path: Device.Config returns
+	// the whole configuration by value, which showed up as copy overhead
+	// once per issued packet.
+	tPack int64
+	tRAC  int64
+
 	wd *engine.Watchdog // forward-progress guard (see Config.WatchdogLimit)
 
 	// Telemetry probes; all nil when cfg.Telemetry is nil.
@@ -184,7 +242,9 @@ type sim struct {
 	fprobes []*telemetry.FIFOProbe
 }
 
-// run drives the CPU and MSU to completion.
+// run drives the CPU and MSU to completion as a discrete-event loop: time
+// only ever moves to the next event that can change what is issuable, never
+// cycle by cycle. See docs/PERFORMANCE.md for the event model.
 func (s *sim) run() error {
 	for {
 		s.fe.Advance(s.msuTime, s)
@@ -197,14 +257,8 @@ func (s *sim) run() error {
 		if s.issueOne() {
 			continue
 		}
-		// Nothing issuable at msuTime: jump to the next CPU event (the
-		// only thing that can change FIFO occupancy) or the earliest
-		// rejection-backoff wake-up, whichever comes first.
-		t := s.fe.NextEvent(s)
-		if rt := s.nextRetry(); rt > s.msuTime && (t == engine.Unscheduled || rt < t) {
-			t = rt
-		}
-		if t == engine.Unscheduled || t <= s.msuTime {
+		t := s.nextWakeup()
+		if t == unscheduled || t <= s.msuTime {
 			if s.fe.Done() && !s.msuHasWork() {
 				return nil
 			}
@@ -215,6 +269,22 @@ func (s *sim) run() error {
 		}
 		s.msuTime = t
 	}
+}
+
+// nextWakeup is the MSU's event queue: the earliest future time at which a
+// new access can become issuable. That set is exactly the next CPU
+// completion (the only thing that changes FIFO occupancy) and the earliest
+// rejection-backoff expiry — deliberately *not* the device's own
+// NextEventAt: FIFO serviceability never depends on bank or bus state, so
+// waking on device events would re-run the scheduler to no effect and split
+// the telemetry idle episodes noteBlocked records. Device events surface
+// through dumpState and the watchdog diagnostics instead.
+func (s *sim) nextWakeup() int64 {
+	t := s.fe.NextEvent(s)
+	if rt := s.nextRetry(); rt > s.msuTime && (t == engine.Unscheduled || rt < t) {
+		t = rt
+	}
+	return t
 }
 
 // nextRetry returns the earliest still-future rejection-backoff wake-up
@@ -249,7 +319,8 @@ func (s *sim) dumpState() string {
 		fmt.Fprintf(&b, "  write fifo %d: group %d/%d pushed=%d drained=%d retryAt=%d rejects=%d\n",
 			s.nr+j, f.nextDrain, len(f.groups), len(f.pushedAt), len(f.drainAt), f.retry.at, f.retry.rejects)
 	}
-	fmt.Fprintf(&b, "  device: %v", s.dev.Stats())
+	fmt.Fprintf(&b, "  cpu: nextEvent=%d wakeup=%d\n", s.fe.NextEvent(s), s.nextWakeup())
+	fmt.Fprintf(&b, "  device: nextEvent=%d %v", s.dev.NextEventAt(s.msuTime), s.dev.Stats())
 	return b.String()
 }
 
@@ -463,13 +534,16 @@ func (s *sim) issue(i int) bool {
 		at = max(at, f.drainReady())
 		// Assemble the packet: pushed values where the stream stores,
 		// current memory contents elsewhere (partial packets at stream
-		// edges or non-unit strides).
-		base := s.mapper.Unmap(addrmap.Loc{Bank: g.loc.Bank, Row: g.loc.Row, Col: g.loc.Col})
-		for w := 0; w < rdram.WordsPerPacket; w++ {
-			req.Data[w] = engine.Peek(s.dev, s.mapper, base+int64(w))
+		// edges or non-unit strides). A fully covered packet — the common
+		// unit-stride case — needs no read-merge at all.
+		if g.n() < rdram.WordsPerPacket {
+			base := s.mapper.Unmap(addrmap.Loc{Bank: g.loc.Bank, Row: g.loc.Row, Col: g.loc.Col})
+			for w := 0; w < rdram.WordsPerPacket; w++ {
+				req.Data[w] = engine.Peek(s.dev, s.mapper, base+int64(w))
+			}
 		}
-		for j, e := range g.elems {
-			req.Data[g.words[j]] = f.values[e]
+		for j, w := range g.words {
+			req.Data[w] = f.values[g.elo+j]
 		}
 	}
 
@@ -494,7 +568,7 @@ func (s *sim) issue(i int) bool {
 	// occupancy is still evaluated at a realistic point in time.
 	res, ok := s.dev.Attempt(at, req)
 	if !ok {
-		retry.onReject(at, int64(s.dev.Config().Timing.TPack))
+		retry.onReject(at, s.tPack)
 		if s.dprobe != nil {
 			s.dprobe.SetIdleCause(telemetry.StallFaultRetry)
 		}
@@ -502,21 +576,21 @@ func (s *sim) issue(i int) bool {
 	}
 	retry.onAccept()
 	s.wd.Progress(res.DataEnd)
-	if lead := res.DataStart - int64(s.dev.Config().Timing.TRAC()); lead > s.msuTime {
+	if lead := res.DataStart - s.tRAC; lead > s.msuTime {
 		s.msuTime = lead
 	}
 
 	if i < s.nr {
 		f := s.reads[i]
-		for j := range g.elems {
-			f.values = append(f.values, res.Data[g.words[j]])
+		for _, w := range g.words {
+			f.values = append(f.values, res.Data[w])
 			f.avail = append(f.avail, res.DataEnd)
 		}
-		f.issued += len(g.elems)
+		f.issued += g.n()
 		f.nextFetch++
 	} else {
 		f := s.writes[i-s.nr]
-		for range g.elems {
+		for range g.words {
 			f.drainAt = append(f.drainAt, res.DataEnd)
 		}
 		f.nextDrain++

@@ -60,15 +60,24 @@ func runSMC(t *testing.T, factory string, n int, strideW int64, cfg Config, plac
 	return res, dev, k, shadow
 }
 
+// plan is the test harness for planStream with fresh slabs.
+func plan(m *addrmap.Mapper, s stream.Stream) []group {
+	groups, _ := planStream(m, s, nil, nil)
+	return groups
+}
+
 func TestPlanStreamUnitStride(t *testing.T) {
 	m := addrmap.MustNew(addrmap.CLI, rdram.DefaultGeometry(), 4)
-	groups := planStream(m, stream.Stream{Base: 0, Stride: 1, Length: 8, Mode: stream.Read})
+	groups := plan(m, stream.Stream{Base: 0, Stride: 1, Length: 8, Mode: stream.Read})
 	if len(groups) != 4 {
 		t.Fatalf("groups = %d, want 4 (two elements per packet)", len(groups))
 	}
 	for gi, g := range groups {
-		if len(g.elems) != 2 {
-			t.Errorf("group %d has %d elems, want 2", gi, len(g.elems))
+		if g.n() != 2 {
+			t.Errorf("group %d has %d elems, want 2", gi, g.n())
+		}
+		if g.elo != gi*2 || g.ehi != gi*2+2 {
+			t.Errorf("group %d range = [%d,%d), want [%d,%d)", gi, g.elo, g.ehi, gi*2, gi*2+2)
 		}
 		if g.words[0] != 0 || g.words[1] != 1 {
 			t.Errorf("group %d words = %v, want [0 1]", gi, g.words)
@@ -78,12 +87,12 @@ func TestPlanStreamUnitStride(t *testing.T) {
 
 func TestPlanStreamStrideTwoWastesHalf(t *testing.T) {
 	m := addrmap.MustNew(addrmap.CLI, rdram.DefaultGeometry(), 4)
-	groups := planStream(m, stream.Stream{Base: 0, Stride: 2, Length: 8, Mode: stream.Read})
+	groups := plan(m, stream.Stream{Base: 0, Stride: 2, Length: 8, Mode: stream.Read})
 	if len(groups) != 8 {
 		t.Fatalf("groups = %d, want 8 (one element per packet)", len(groups))
 	}
 	for gi, g := range groups {
-		if len(g.elems) != 1 || g.words[0] != 0 {
+		if g.n() != 1 || g.words[0] != 0 {
 			t.Errorf("group %d = %+v, want single element at word 0", gi, g)
 		}
 	}
@@ -91,16 +100,30 @@ func TestPlanStreamStrideTwoWastesHalf(t *testing.T) {
 
 func TestPlanStreamOddBaseSplitsPackets(t *testing.T) {
 	m := addrmap.MustNew(addrmap.CLI, rdram.DefaultGeometry(), 4)
-	groups := planStream(m, stream.Stream{Base: 1, Stride: 1, Length: 4, Mode: stream.Read})
+	groups := plan(m, stream.Stream{Base: 1, Stride: 1, Length: 4, Mode: stream.Read})
 	// Elements at 1,2,3,4: packets (0,1),(2,3),(4,5) -> 3 groups of 1,2,1.
 	if len(groups) != 3 {
 		t.Fatalf("groups = %d, want 3", len(groups))
 	}
-	if len(groups[0].elems) != 1 || len(groups[1].elems) != 2 || len(groups[2].elems) != 1 {
-		t.Errorf("group sizes = %d,%d,%d; want 1,2,1", len(groups[0].elems), len(groups[1].elems), len(groups[2].elems))
+	if groups[0].n() != 1 || groups[1].n() != 2 || groups[2].n() != 1 {
+		t.Errorf("group sizes = %d,%d,%d; want 1,2,1", groups[0].n(), groups[1].n(), groups[2].n())
 	}
 	if groups[0].words[0] != 1 {
 		t.Errorf("first element word = %d, want 1", groups[0].words[0])
+	}
+}
+
+// TestPlanStreamRecyclesSlabs exercises the scratch-reuse path: planning
+// into a previous run's larger slabs must produce identical groups.
+func TestPlanStreamRecyclesSlabs(t *testing.T) {
+	m := addrmap.MustNew(addrmap.CLI, rdram.DefaultGeometry(), 4)
+	big, bigWords := planStream(m, stream.Stream{Base: 0, Stride: 1, Length: 64, Mode: stream.Read}, nil, nil)
+	groups, _ := planStream(m, stream.Stream{Base: 1, Stride: 1, Length: 4, Mode: stream.Read}, big[:0], bigWords[:0])
+	if len(groups) != 3 || groups[0].n() != 1 || groups[1].n() != 2 || groups[2].n() != 1 {
+		t.Fatalf("recycled plan = %+v, want sizes 1,2,1", groups)
+	}
+	if groups[1].words[0] != 0 || groups[1].words[1] != 1 {
+		t.Errorf("recycled middle group words = %v, want [0 1]", groups[1].words)
 	}
 }
 

@@ -7,6 +7,18 @@ import "fmt"
 // base word addresses of its *vectors* (see Factory.Vectors for the count
 // and order), the element count n, and the element stride in words.
 
+// singleOut wraps a one-output computation as a Compute function that
+// reuses its result buffer across iterations; a fresh one-element slice
+// per iteration was the last remaining hot-loop allocation in sweeps.
+// Callers copy the result before the next call (the Compute contract).
+func singleOut(f func(in []float64) float64) func(int, []float64) []float64 {
+	out := make([]float64, 1)
+	return func(_ int, in []float64) []float64 {
+		out[0] = f(in)
+		return out
+	}
+}
+
 // Copy builds y[i] = x[i] (BLAS copy): one read stream, one write stream.
 func Copy(xBase, yBase int64, n int, stride int64) *Kernel {
 	return &Kernel{
@@ -15,7 +27,7 @@ func Copy(xBase, yBase int64, n int, stride int64) *Kernel {
 			{Name: "x", Base: xBase, Stride: stride, Length: n, Mode: Read},
 			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Write},
 		},
-		Compute: func(_ int, in []float64) []float64 { return []float64{in[0]} },
+		Compute: singleOut(func(in []float64) float64 { return in[0] }),
 	}
 }
 
@@ -29,7 +41,7 @@ func Daxpy(a float64, xBase, yBase int64, n int, stride int64) *Kernel {
 			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Read},
 			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Write},
 		},
-		Compute: func(_ int, in []float64) []float64 { return []float64{a*in[0] + in[1]} },
+		Compute: singleOut(func(in []float64) float64 { return a*in[0] + in[1] }),
 	}
 }
 
@@ -46,9 +58,7 @@ func Hydro(q, r, t float64, xBase, yBase, zxBase int64, n int, stride int64) *Ke
 			{Name: "zx+11", Base: zxBase + 11*stride, Stride: stride, Length: n, Mode: Read},
 			{Name: "x", Base: xBase, Stride: stride, Length: n, Mode: Write},
 		},
-		Compute: func(_ int, in []float64) []float64 {
-			return []float64{q + in[0]*(r*in[1]+t*in[2])}
-		},
+		Compute: singleOut(func(in []float64) float64 { return q + in[0]*(r*in[1]+t*in[2]) }),
 	}
 }
 
@@ -64,7 +74,7 @@ func Vaxpy(aBase, xBase, yBase int64, n int, stride int64) *Kernel {
 			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Read},
 			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Write},
 		},
-		Compute: func(_ int, in []float64) []float64 { return []float64{in[0]*in[1] + in[2]} },
+		Compute: singleOut(func(in []float64) float64 { return in[0]*in[1] + in[2] }),
 	}
 }
 
@@ -72,7 +82,7 @@ func Vaxpy(aBase, xBase, yBase int64, n int, stride int64) *Kernel {
 func Scale(a float64, xBase, yBase int64, n int, stride int64) *Kernel {
 	k := Copy(xBase, yBase, n, stride)
 	k.Name = "scale"
-	k.Compute = func(_ int, in []float64) []float64 { return []float64{a * in[0]} }
+	k.Compute = singleOut(func(in []float64) float64 { return a * in[0] })
 	return k
 }
 
@@ -85,7 +95,7 @@ func Sum(x1Base, x2Base, yBase int64, n int, stride int64) *Kernel {
 			{Name: "x2", Base: x2Base, Stride: stride, Length: n, Mode: Read},
 			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Write},
 		},
-		Compute: func(_ int, in []float64) []float64 { return []float64{in[0] + in[1]} },
+		Compute: singleOut(func(in []float64) float64 { return in[0] + in[1] }),
 	}
 }
 
@@ -93,7 +103,7 @@ func Sum(x1Base, x2Base, yBase int64, n int, stride int64) *Kernel {
 func Triad(a float64, x1Base, x2Base, yBase int64, n int, stride int64) *Kernel {
 	k := Sum(x1Base, x2Base, yBase, n, stride)
 	k.Name = "triad"
-	k.Compute = func(_ int, in []float64) []float64 { return []float64{in[0] + a*in[1]} }
+	k.Compute = singleOut(func(in []float64) float64 { return in[0] + a*in[1] })
 	return k
 }
 
@@ -109,7 +119,13 @@ func Swap(xBase, yBase int64, n int, stride int64) *Kernel {
 			{Name: "x", Base: xBase, Stride: stride, Length: n, Mode: Write},
 			{Name: "y", Base: yBase, Stride: stride, Length: n, Mode: Write},
 		},
-		Compute: func(_ int, in []float64) []float64 { return []float64{in[1], in[0]} },
+		Compute: func() func(int, []float64) []float64 {
+			out := make([]float64, 2)
+			return func(_ int, in []float64) []float64 {
+				out[0], out[1] = in[1], in[0]
+				return out
+			}
+		}(),
 	}
 }
 
@@ -133,12 +149,12 @@ func MultiStream(sr, sw int, bases []int64, n int, stride int64) *Kernel {
 			Name: fmt.Sprintf("w%d", i), Base: bases[sr+i], Stride: stride, Length: n, Mode: Write,
 		})
 	}
+	out := make([]float64, sw)
 	k.Compute = func(_ int, in []float64) []float64 {
 		var sum float64
 		for _, v := range in {
 			sum += v
 		}
-		out := make([]float64, sw)
 		for i := range out {
 			out[i] = sum + float64(i)
 		}

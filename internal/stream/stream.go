@@ -70,7 +70,9 @@ type Kernel struct {
 	Streams []Stream
 	// Compute maps the iteration index and the values read (one per read
 	// stream, in stream order) to the values to write (one per write
-	// stream, in stream order). It must be free of side effects.
+	// stream, in stream order). It must be free of side effects. The
+	// returned slice may be reused by the kernel across calls, so callers
+	// must copy the values out before invoking Compute again.
 	Compute func(i int, in []float64) []float64
 }
 
