@@ -6,6 +6,16 @@
 //
 //	rdload -clients 8 -duration 30s                 # spawn a server in-process
 //	rdload -addr http://localhost:8347 -duration 1m # drive a running server
+//	rdload -fleet 3 -duration 30s                   # spawn 3 workers + a coordinator
+//	rdload -fleet 3 -chaos -duration 30s            # ...and kill workers mid-run
+//
+// Fleet mode (-fleet N) spawns N in-process rdserved workers plus a
+// fabric coordinator and drives the coordinator, so the whole
+// distributed path — sharding, streaming merge, failover — is under
+// load. With -chaos, workers are hard-killed mid-run on a schedule
+// derived from -chaos-seed; the run then verifies a fixed sweep through
+// the surviving fabric against local execution and fails if the merged
+// results diverge.
 //
 // The run ends with two health gates: the summary must show non-zero
 // throughput, and the server's GET /metrics body must be a valid
@@ -31,6 +41,7 @@ import (
 
 	"rdramstream/internal/addrmap"
 	"rdramstream/internal/experiments"
+	"rdramstream/internal/fabric"
 	"rdramstream/internal/fault"
 	"rdramstream/internal/obs"
 	"rdramstream/internal/service"
@@ -81,16 +92,41 @@ type Summary struct {
 	MetricsExpositionValid   bool             `json:"metrics_exposition_valid"`
 	MetricsExpositionSamples int              `json:"metrics_exposition_samples"`
 	Server                   *service.Metrics `json:"server,omitempty"`
+	Fabric                   *FabricSummary   `json:"fabric,omitempty"`
+}
+
+// FabricSummary is the fleet-mode section of BENCH_service_load.json:
+// the coordinator's failover counters plus the end-of-run correctness
+// verdict.
+//
+// rdlint:wire — part of the BENCH_service_load.json schema; field names
+// are pinned (CI's fabric assertions use them with jq).
+type FabricSummary struct {
+	Fleet int `json:"fleet"`
+	// ChaosKills is how many workers the chaos schedule hard-killed.
+	ChaosKills      int   `json:"chaos_kills"`
+	Reshards        int64 `json:"reshards"`
+	Shed            int64 `json:"shed"`
+	WorkerFailures  int64 `json:"worker_failures"`
+	RemoteScenarios int64 `json:"remote_scenarios"`
+	LocalScenarios  int64 `json:"local_scenarios"`
+	PeerHits        int64 `json:"peer_hits"`
+	// Verified reports the end-of-run oracle: a fixed sweep through the
+	// (possibly decimated) fabric byte-matched local execution.
+	Verified bool `json:"verified"`
 }
 
 // config is one rdload invocation.
 type config struct {
-	addr     string
-	clients  int
-	duration time.Duration
-	out      string
-	seed     int64
-	workers  int
+	addr      string
+	clients   int
+	duration  time.Duration
+	out       string
+	seed      int64
+	workers   int
+	fleet     int
+	chaos     bool
+	chaosSeed int64
 }
 
 func main() {
@@ -101,6 +137,9 @@ func main() {
 	flag.StringVar(&cfg.out, "out", "BENCH_service_load.json", "summary output path")
 	flag.Int64Var(&cfg.seed, "seed", 1, "base seed for the per-client scenario draws")
 	flag.IntVar(&cfg.workers, "workers", 0, "spawned server's worker pool (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.fleet, "fleet", 0, "spawn this many in-process fabric workers plus a coordinator and drive the coordinator")
+	flag.BoolVar(&cfg.chaos, "chaos", false, "fleet mode: hard-kill workers mid-run on a seeded schedule")
+	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 1, "seed for the chaos kill schedule")
 	showVersion := flag.Bool("version", false, "print the version stamp and exit")
 	flag.Parse()
 
@@ -122,6 +161,10 @@ func main() {
 	}
 	if !sum.MetricsExpositionValid {
 		fmt.Fprintln(os.Stderr, "rdload: FAIL: /metrics is not a valid Prometheus exposition")
+		os.Exit(1)
+	}
+	if sum.Fabric != nil && !sum.Fabric.Verified {
+		fmt.Fprintln(os.Stderr, "rdload: FAIL: fabric results diverged from local execution")
 		os.Exit(1)
 	}
 }
@@ -179,14 +222,26 @@ func run(cfg config) (Summary, error) {
 		Clients: cfg.clients,
 	}
 	base := cfg.addr
+	var flt *fleetHarness
 	if base == "" {
-		spawned, shutdown, err := spawnServer(cfg.workers)
-		if err != nil {
-			return sum, err
+		if cfg.fleet > 0 {
+			f, err := spawnFleet(cfg.workers, cfg.fleet)
+			if err != nil {
+				return sum, err
+			}
+			defer f.shutdown()
+			flt = f
+			base = f.baseURL
+			sum.Spawned = true
+		} else {
+			spawned, shutdown, err := spawnServer(cfg.workers)
+			if err != nil {
+				return sum, err
+			}
+			defer shutdown()
+			base = spawned
+			sum.Spawned = true
 		}
-		defer shutdown()
-		base = spawned
-		sum.Spawned = true
 	}
 	sum.Addr = base
 	cl := client.New(base)
@@ -207,6 +262,10 @@ func run(cfg config) (Summary, error) {
 			defer wg.Done()
 			drive(ctx, cl, rand.New(rand.NewSource(cfg.seed+int64(i))), all, hot, &stats[i])
 		}(i)
+	}
+	kills := 0
+	if flt != nil && cfg.chaos {
+		kills = flt.runChaos(ctx, cfg.chaosSeed, cfg.duration)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -250,6 +309,14 @@ func run(cfg config) (Summary, error) {
 	sum.MetricsExpositionSamples = n
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rdload: exposition check: %v\n", err)
+	}
+
+	if flt != nil {
+		fs, err := flt.summarize(cl, cfg, kills, all)
+		if err != nil {
+			return sum, err
+		}
+		sum.Fabric = &fs
 	}
 
 	if cfg.out != "" {
@@ -350,6 +417,149 @@ func percentile(sorted []int64, p int) int64 {
 		rank = len(sorted)
 	}
 	return sorted[rank-1]
+}
+
+// fleetHarness is fleet mode's in-process deployment: one coordinator
+// (the driven endpoint) over N worker servers, each individually
+// hard-killable.
+type fleetHarness struct {
+	baseURL string
+	co      *fabric.Coordinator
+	kill    []func() // hard-kill worker i (abrupt close, like SIGKILL)
+	closers []func()
+}
+
+func (f *fleetHarness) shutdown() {
+	f.co.Close()
+	for _, c := range f.closers {
+		c()
+	}
+}
+
+// runChaos hard-kills up to half the fleet (at least one worker),
+// spread across the load window, in an order drawn from the seed. It
+// returns how many workers it killed.
+func (f *fleetHarness) runChaos(ctx context.Context, seed int64, duration time.Duration) int {
+	n := len(f.kill)/2 + 1
+	if n > len(f.kill) {
+		n = len(f.kill)
+	}
+	order := rand.New(rand.NewSource(seed)).Perm(len(f.kill))
+	step := duration / time.Duration(n+1)
+	killed := 0
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return killed
+		case <-time.After(step):
+		}
+		victim := order[i]
+		fmt.Fprintf(os.Stderr, "rdload: chaos: killing worker %d\n", victim)
+		f.kill[victim]()
+		killed++
+	}
+	return killed
+}
+
+// summarize builds the fabric section: coordinator counters plus the
+// end-of-run oracle — a fixed sweep through whatever is left of the
+// fleet must byte-match local execution.
+func (f *fleetHarness) summarize(cl *client.Client, cfg config, kills int, all []sim.Scenario) (FabricSummary, error) {
+	st := f.co.Stats()
+	fs := FabricSummary{
+		Fleet:           cfg.fleet,
+		ChaosKills:      kills,
+		Reshards:        st.Reshards,
+		Shed:            st.Shed,
+		WorkerFailures:  st.WorkerFailures,
+		RemoteScenarios: st.RemoteScenarios,
+		LocalScenarios:  st.LocalScenarios,
+		PeerHits:        st.PeerHits,
+	}
+	verify := all
+	if len(verify) > 12 {
+		verify = verify[:12]
+	}
+	vctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	got, err := cl.SweepOutcomes(vctx, verify)
+	if err != nil {
+		return fs, fmt.Errorf("fabric verification sweep: %w", err)
+	}
+	want, err := sim.RunAll(verify, cfg.workers)
+	if err != nil {
+		return fs, fmt.Errorf("local verification run: %w", err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		return fs, err
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		return fs, err
+	}
+	fs.Verified = string(gotJSON) == string(wantJSON)
+	return fs, nil
+}
+
+// spawnFleet starts fleet mode's servers: N workers plus the
+// coordinator, all on loopback ports, the workers registered directly.
+func spawnFleet(workers, fleet int) (*fleetHarness, error) {
+	f := &fleetHarness{}
+	svc, err := service.New(service.Config{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	co, err := fabric.NewCoordinator(fabric.Config{
+		Local:             svc,
+		HeartbeatInterval: 250 * time.Millisecond,
+		AttemptTimeout:    30 * time.Second,
+		RetryBackoff:      25 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.co = co
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	server := &http.Server{Handler: fabric.Handler(co, service.NewHandler(svc))}
+	go server.Serve(ln)
+	f.baseURL = "http://" + ln.Addr().String()
+	f.closers = append(f.closers, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		server.Shutdown(ctx)
+		svc.Close(ctx)
+	})
+	for i := 0; i < fleet; i++ {
+		wsvc, err := service.New(service.Config{Workers: workers})
+		if err != nil {
+			f.shutdown()
+			return nil, err
+		}
+		wln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.shutdown()
+			return nil, err
+		}
+		wserver := &http.Server{Handler: service.NewHandler(wsvc)}
+		go wserver.Serve(wln)
+		addr := "http://" + wln.Addr().String()
+		if err := co.Register(addr); err != nil {
+			f.shutdown()
+			return nil, err
+		}
+		f.kill = append(f.kill, func() { wserver.Close() })
+		f.closers = append(f.closers, func() {
+			wserver.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			wsvc.Close(ctx)
+		})
+	}
+	return f, nil
 }
 
 // spawnServer starts an in-process rdserved-equivalent on a loopback

@@ -5,11 +5,25 @@
 //
 //	rdserved -addr :8347 -workers 8 -cache-entries 4096 -cache-dir /var/cache/rdramstream
 //
+// Distributed operation (see docs/SERVICE.md, "Distributed operation"):
+//
+//	rdserved -addr :8347 -fabric                      # coordinator
+//	rdserved -addr :8348 -coordinator http://host:8347  # worker
+//
+// A coordinator shards sweeps across registered workers by cache content
+// key, re-shards around failures, and falls back to local execution when
+// the fleet is empty — it is a strict superset of a plain rdserved. A
+// worker is a plain rdserved that periodically registers its advertised
+// URL with the coordinator.
+//
 // API (see docs/SERVICE.md and docs/OBSERVABILITY.md):
 //
 //	POST /v1/simulate      one scenario (sim.Scenario JSON), synchronous
 //	POST /v1/sweep         {"scenarios":[...]}, NDJSON stream in input order
 //	GET  /v1/jobs/{id}     job status
+//	GET  /v1/cache/{key}   result-cache peek by content key (peer tier)
+//	POST /v1/fabric/register  worker registration (coordinator only)
+//	GET  /v1/fabric/workers   fleet health + stats (coordinator only)
 //	GET  /v1/requests/{id} one request trace (per-stage spans)
 //	GET  /debug/requests   recent traces (?format=json|jsonl|chrome)
 //	GET  /healthz          liveness + version stamp
@@ -29,12 +43,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"rdramstream/internal/fabric"
 	"rdramstream/internal/obs"
 	"rdramstream/internal/resultcache"
 	"rdramstream/internal/service"
+	"rdramstream/internal/service/client"
 	"rdramstream/internal/version"
 )
 
@@ -49,12 +66,20 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
 	traceRing := flag.Int("trace-ring", obs.DefaultRingSize, "request traces kept for /debug/requests")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	fabricOn := flag.Bool("fabric", false, "run as a fabric coordinator: shard sweeps across registered workers")
+	coordinator := flag.String("coordinator", "", "run as a fabric worker: register with this coordinator URL")
+	advertise := flag.String("advertise", "", "base URL workers advertise to the coordinator (default derives from -addr)")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "fabric heartbeat cadence (coordinator probes; worker re-registration)")
+	fabricInflight := flag.Int("fabric-inflight", 32, "coordinator admission bound: max concurrent distributed sweeps")
 	showVersion := flag.Bool("version", false, "print the version stamp and exit")
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Println(version.Stamp())
 		return
+	}
+	if *fabricOn && *coordinator != "" {
+		fatalf("-fabric and -coordinator are mutually exclusive (a node is a coordinator or a worker)")
 	}
 
 	cache, err := resultcache.New(resultcache.Options{MaxEntries: *cacheEntries, Dir: *cacheDir})
@@ -73,6 +98,20 @@ func main() {
 	}
 
 	handler := service.NewHandlerWith(svc, service.HandlerOptions{PProf: *pprofOn})
+	var co *fabric.Coordinator
+	if *fabricOn {
+		co, err = fabric.NewCoordinator(fabric.Config{
+			Local:             svc,
+			HeartbeatInterval: *heartbeat,
+			MaxInFlightSweeps: *fabricInflight,
+			AttemptTimeout:    *requestTimeout,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		handler = fabric.Handler(co, handler)
+		fmt.Fprintln(os.Stderr, "rdserved: fabric coordinator enabled")
+	}
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           withDeadline(handler, *requestTimeout),
@@ -86,6 +125,10 @@ func main() {
 	go func() { errCh <- server.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "rdserved: %s\nrdserved: listening on %s\n", version.Stamp(), *addr)
 
+	if *coordinator != "" {
+		go registerLoop(ctx, *coordinator, advertiseURL(*advertise, *addr), *heartbeat)
+	}
+
 	select {
 	case err := <-errCh:
 		fatalf("%v", err)
@@ -95,6 +138,9 @@ func main() {
 	fmt.Fprintln(os.Stderr, "rdserved: draining...")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if co != nil {
+		co.Close()
+	}
 	if err := server.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "rdserved: http shutdown: %v\n", err)
 	}
@@ -103,6 +149,59 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "rdserved: bye")
+}
+
+// advertiseURL derives the URL a worker announces to its coordinator: an
+// explicit -advertise wins; otherwise a ":port" listen address becomes
+// "http://127.0.0.1:port" (the single-host default) and a host:port
+// gains an http scheme.
+func advertiseURL(advertise, addr string) string {
+	if advertise != "" {
+		return advertise
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	if !strings.Contains(addr, "://") {
+		return "http://" + addr
+	}
+	return addr
+}
+
+// registerLoop announces this worker to the coordinator on the heartbeat
+// cadence until shutdown. Registration is idempotent and doubles as a
+// worker-initiated liveness refresh, so a worker that restarts — or a
+// coordinator that does — converges without operator action.
+func registerLoop(ctx context.Context, coordinator, advertise string, every time.Duration) {
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	cl := client.New(coordinator)
+	cl.Timeout = every
+	registered := false // log only state transitions, not every beat
+	first := true
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		if err := cl.RegisterWorker(ctx, advertise); err != nil {
+			if registered || first {
+				fmt.Fprintf(os.Stderr, "rdserved: fabric register (%s -> %s): %v (retrying every %s)\n",
+					advertise, coordinator, err, every)
+			}
+			registered = false
+		} else {
+			if !registered {
+				fmt.Fprintf(os.Stderr, "rdserved: fabric worker %s registered with %s\n", advertise, coordinator)
+			}
+			registered = true
+		}
+		first = false
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
 }
 
 // withDeadline bounds every request's context. Unlike http.TimeoutHandler

@@ -1,0 +1,100 @@
+package fabric_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"rdramstream/internal/fabric"
+	"rdramstream/internal/sim"
+)
+
+// TestSeededPlansDeterministic: a seed names one fault schedule forever.
+func TestSeededPlansDeterministic(t *testing.T) {
+	a := fabric.SeededPlans(42, 5, 4)
+	b := fabric.SeededPlans(42, 5, 4)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("plan counts: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan %d diverges across derivations: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	sabotaged := 0
+	for _, p := range a {
+		if p != (fabric.ChaosPlan{}) {
+			sabotaged++
+		}
+	}
+	if sabotaged == 0 {
+		t.Fatal("seeded schedule sabotaged no worker")
+	}
+	if c := fabric.SeededPlans(43, 5, 4); len(c) != 5 {
+		t.Fatalf("plan count for seed 43: %d", len(c))
+	}
+}
+
+// TestChaosFleetByteIdentity is the tentpole acceptance test: a fleet
+// under a seeded chaos schedule — workers killed and stalled mid-sweep —
+// still merges every sweep byte-identical to a local sim.RunAll, in
+// input order, duplicate-free.
+func TestChaosFleetByteIdentity(t *testing.T) {
+	for _, seed := range []int64{1, 7, 1999} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			plans := fabric.SeededPlans(seed, 4, 3)
+			f := newFleet(t, 4, plans, fabric.Config{
+				// Stalled attempts must unwedge without a caller deadline.
+				AttemptTimeout:     300 * time.Millisecond,
+				MaxScenarioRetries: 2,
+			})
+			scs := mixedSweep(20)
+			sw, err := f.co.StartSweep(context.Background(), scs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := collect(t, sw, len(scs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertByteIdentical(t, scs, got)
+			if sw.Duplicates() != 0 {
+				t.Fatalf("seed %d: %d duplicate landings", seed, sw.Duplicates())
+			}
+			var kills, stalls int64
+			for _, cb := range f.chaos {
+				kills += cb.Kills()
+				stalls += cb.Stalls()
+			}
+			if kills+stalls == 0 {
+				t.Fatalf("seed %d: chaos schedule never fired", seed)
+			}
+			st := f.co.Stats()
+			if st.WorkerFailures == 0 {
+				t.Fatalf("seed %d: faults fired but no worker failure was booked", seed)
+			}
+			t.Logf("seed %d: kills=%d stalls=%d reshards=%d local=%d remote=%d",
+				seed, kills, stalls, st.Reshards, st.LocalScenarios, st.RemoteScenarios)
+		})
+	}
+}
+
+// collect drains a sweep in input order into outcomes, failing on any
+// per-scenario error.
+func collect(t *testing.T, sw *fabric.Sweep, n int) ([]sim.Outcome, error) {
+	t.Helper()
+	out := make([]sim.Outcome, n)
+	for i := 0; i < n; i++ {
+		l, err := sw.Wait(context.Background(), i)
+		if err != nil {
+			return nil, err
+		}
+		if l.Error != "" {
+			return nil, fmt.Errorf("scenario %d (%s): %s", i, l.Label, l.Error)
+		}
+		out[i] = *l.Outcome
+	}
+	return out, nil
+}

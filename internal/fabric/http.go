@@ -1,0 +1,208 @@
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"rdramstream/internal/obs"
+	"rdramstream/internal/service"
+	"rdramstream/internal/sim"
+)
+
+// FleetResponse is the body of GET /v1/fabric/workers: the fleet's
+// health and the coordinator's cumulative counters.
+//
+// rdlint:wire — fabric introspection wire format.
+type FleetResponse struct {
+	Workers []WorkerStatus `json:"workers"`
+	Stats   Stats          `json:"stats"`
+}
+
+// Handler layers the coordinator's routes over a local rdserved handler:
+//
+//	POST /v1/fabric/register  worker registration / liveness refresh
+//	GET  /v1/fabric/workers   fleet health + coordinator stats
+//	POST /v1/sweep            distributed sweep (NDJSON, input order);
+//	                          saturation is 429 + Retry-After
+//	POST /v1/simulate         one scenario through the fabric
+//	GET  /metrics             publishes rd_fabric_* series, then delegates
+//
+// Everything else falls through to the local handler, so a coordinator
+// is a superset of a plain rdserved: same cache peeks, traces, jobs,
+// and health endpoints.
+func Handler(co *Coordinator, local http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/fabric/register", co.handleRegister)
+	mux.HandleFunc("GET /v1/fabric/workers", co.handleWorkers)
+	mux.HandleFunc("POST /v1/sweep", co.handleSweep)
+	mux.HandleFunc("POST /v1/simulate", co.handleSimulate)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		co.publishMetrics()
+		local.ServeHTTP(w, r)
+	})
+	mux.Handle("/", local)
+	return mux
+}
+
+// fabricError is every non-2xx body (same shape as the service API).
+type fabricError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, fabricError{Error: err.Error()})
+}
+
+// decodeStrict decodes one JSON body, rejecting unknown fields.
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+// submitStatus maps a StartSweep failure to its HTTP status. Saturation
+// is 429 so clients with retry budgets back off instead of failing.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req service.RegisterRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := c.Register(req.Addr); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.fleetResponse())
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.fleetResponse())
+}
+
+func (c *Coordinator) fleetResponse() FleetResponse {
+	return FleetResponse{Workers: c.Workers(), Stats: c.Stats()}
+}
+
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req service.SweepRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sw, err := c.StartSweep(r.Context(), req.Scenarios)
+	if err != nil {
+		status := submitStatus(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		}
+		writeError(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := 0; i < len(req.Scenarios); i++ {
+		l, err := sw.Wait(r.Context(), i)
+		if err != nil {
+			// The client went away mid-stream; the sweep's own context is
+			// r.Context() too, so the engine unwinds with it.
+			return
+		}
+		l.Index = i
+		enc.Encode(l)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(sw.Summary())
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// retryAfterSeconds is the advisory Retry-After on shed sweeps: long
+// enough for a batch of in-flight sweeps to make progress, short enough
+// that a recovered coordinator refills quickly.
+const retryAfterSeconds = 1
+
+func (c *Coordinator) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var sc sim.Scenario
+	if err := decodeStrict(r, &sc); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := c.Simulate(r.Context(), sc)
+	if err != nil {
+		status := submitStatus(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// publishMetrics mirrors the coordinator's snapshot into the shared
+// Prometheus registry at scrape time: fleet gauges, cumulative fabric
+// counters, and one rd_fabric_worker_up gauge per worker (sorted
+// iteration — WorkerStatus order is the sorted address order).
+func (c *Coordinator) publishMetrics() {
+	if c.obsv == nil {
+		return
+	}
+	reg := c.obsv.Reg
+	st := c.Stats()
+	reg.SetGauge("rd_fabric_workers", "Registered fabric workers.", float64(st.Workers))
+	reg.SetGauge("rd_fabric_workers_live", "Workers currently eligible for shards (not dead, breaker closed).", float64(st.Live))
+	reg.SetGauge("rd_fabric_inflight_sweeps", "Distributed sweeps executing right now.", float64(c.inflightNow()))
+	reg.SetCounter("rd_fabric_sweeps_total", "Distributed sweeps admitted.", float64(st.Sweeps))
+	reg.SetCounter("rd_fabric_remote_scenarios_total", "Scenario attempts dispatched to workers.", float64(st.RemoteScenarios))
+	reg.SetCounter("rd_fabric_local_scenarios_total", "Scenarios executed on the coordinator's local fallback.", float64(st.LocalScenarios))
+	reg.SetCounter("rd_fabric_reshards_total", "Scenario re-assignments after mid-sweep worker failures.", float64(st.Reshards))
+	reg.SetCounter("rd_fabric_shed_total", "Sweeps rejected by admission control (HTTP 429).", float64(st.Shed))
+	reg.SetCounter("rd_fabric_worker_failures_total", "Failed remote attempts across all workers.", float64(st.WorkerFailures))
+	for _, ws := range c.Workers() {
+		up := 0.0
+		if ws.State == WorkerLive {
+			up = 1.0
+		}
+		reg.SetGauge("rd_fabric_worker_up", "Per-worker shard eligibility (1 = live).", up, obs.L("worker", ws.Addr))
+	}
+}
+
+func (c *Coordinator) inflightNow() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight
+}

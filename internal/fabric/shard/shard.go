@@ -1,0 +1,132 @@
+// Package shard is the fabric's consistent-hash ring: it decides, for
+// every scenario in a distributed sweep, which worker owns it. The shard
+// key is the scenario's resultcache content address (a stable SHA-256
+// hex string), so identical scenarios land on the same worker across
+// sweeps, clients, and coordinator restarts — which is what makes each
+// worker's local result cache accumulate a coherent shard of the global
+// key space.
+//
+// Determinism contract: assignment is a pure function of (member set,
+// replica count, key). No wall-clock time, no randomness, no map
+// iteration — the rdlint determinism analyzer covers this package with
+// the same rules as the simulation core, because a nondeterministic
+// shard assignment would make distributed sweeps unreproducible and
+// defeat the byte-identity oracle against a local sim.RunAll.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per member. 64 points per
+// worker keeps the assignment imbalance across a handful of workers
+// within a few percent while the ring stays tiny (a few KiB).
+const DefaultReplicas = 64
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	id   string
+}
+
+// Ring is an immutable consistent-hash ring over worker IDs. Build one
+// with New; membership changes build a new Ring (they are cheap).
+type Ring struct {
+	replicas int
+	members  []string // sorted, deduplicated
+	points   []point  // sorted by (hash, id)
+}
+
+// Hash maps a string to its position on the ring: the first 8 bytes of
+// its SHA-256, big-endian. Using the same digest family as the
+// resultcache key keeps the whole shard pipeline reproducible from the
+// scenario bytes alone.
+func Hash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// New builds a ring over the given members with the given virtual-node
+// count per member (<= 0 selects DefaultReplicas). Member order does not
+// matter: the input is sorted and deduplicated, so any permutation of
+// the same set yields an identical ring.
+func New(members []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	ids := append([]string(nil), members...)
+	sort.Strings(ids)
+	dedup := ids[:0]
+	for i, id := range ids {
+		if i > 0 && id == ids[i-1] {
+			continue
+		}
+		dedup = append(dedup, id)
+	}
+	ids = dedup
+	r := &Ring{replicas: replicas, members: ids}
+	r.points = make([]point, 0, len(ids)*replicas)
+	for _, id := range ids {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: Hash(id + "#" + strconv.Itoa(v)), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id
+	})
+	return r
+}
+
+// Len reports the member count. Nil-safe.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.members)
+}
+
+// Members returns the sorted member set (a copy).
+func (r *Ring) Members() []string {
+	if r == nil {
+		return nil
+	}
+	return append([]string(nil), r.members...)
+}
+
+// Owner returns the member owning key: the first virtual node at or
+// clockwise after Hash(key), wrapping at the top of the ring. ok is
+// false on an empty ring.
+func (r *Ring) Owner(key string) (owner string, ok bool) {
+	if r == nil || len(r.points) == 0 {
+		return "", false
+	}
+	h := Hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].id, true
+}
+
+// Without returns a new ring with one member removed — the failover
+// primitive. Keys owned by the removed member redistribute to the
+// surviving members; every other key keeps its owner (the consistent-
+// hashing property the tests pin).
+func (r *Ring) Without(id string) *Ring {
+	if r == nil {
+		return nil
+	}
+	kept := make([]string, 0, len(r.members))
+	for _, m := range r.members {
+		if m != id {
+			kept = append(kept, m)
+		}
+	}
+	return New(kept, r.replicas)
+}

@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%04d", i)
+	}
+	return out
+}
+
+func TestOwnerDeterministicAcrossConstruction(t *testing.T) {
+	a := New([]string{"w1", "w2", "w3"}, 0)
+	b := New([]string{"w3", "w1", "w2", "w2"}, 0) // permuted + duplicate
+	for _, k := range keys(500) {
+		oa, ok := a.Owner(k)
+		if !ok {
+			t.Fatalf("Owner(%q) reported empty ring", k)
+		}
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("Owner(%q) differs across member orderings: %q vs %q", k, oa, ob)
+		}
+	}
+}
+
+func TestRemovalOnlyRemapsRemovedOwnersKeys(t *testing.T) {
+	full := New([]string{"w1", "w2", "w3", "w4"}, 0)
+	reduced := full.Without("w2")
+	if got := reduced.Len(); got != 3 {
+		t.Fatalf("Len after Without = %d, want 3", got)
+	}
+	moved := 0
+	for _, k := range keys(2000) {
+		before, _ := full.Owner(k)
+		after, ok := reduced.Owner(k)
+		if !ok {
+			t.Fatalf("reduced ring empty")
+		}
+		if after == "w2" {
+			t.Fatalf("key %q still owned by removed member", k)
+		}
+		if before != "w2" && before != after {
+			t.Fatalf("key %q moved from surviving %q to %q on unrelated removal", k, before, after)
+		}
+		if before == "w2" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatalf("no keys were owned by the removed member; test vacuous")
+	}
+}
+
+func TestBalance(t *testing.T) {
+	members := []string{"w1", "w2", "w3", "w4"}
+	r := New(members, 0)
+	counts := make([]int, len(members))
+	const n = 8000
+	for _, k := range keys(n) {
+		owner, _ := r.Owner(k)
+		for i, m := range members {
+			if m == owner {
+				counts[i]++
+			}
+		}
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of keys; ring badly imbalanced (%v)", members[i], 100*frac, counts)
+		}
+	}
+}
+
+func TestEmptyAndNilRing(t *testing.T) {
+	var nilRing *Ring
+	if _, ok := nilRing.Owner("k"); ok {
+		t.Fatal("nil ring claimed an owner")
+	}
+	if nilRing.Len() != 0 || nilRing.Members() != nil {
+		t.Fatal("nil ring has members")
+	}
+	empty := New(nil, 0)
+	if _, ok := empty.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+}
+
+func TestWithoutLastMember(t *testing.T) {
+	r := New([]string{"only"}, 0)
+	if owner, ok := r.Owner("k"); !ok || owner != "only" {
+		t.Fatalf("Owner = %q, %v; want only, true", owner, ok)
+	}
+	empty := r.Without("only")
+	if _, ok := empty.Owner("k"); ok {
+		t.Fatal("ring with last member removed still claims an owner")
+	}
+}

@@ -1,0 +1,430 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rdramstream/internal/fabric/shard"
+	"rdramstream/internal/resultcache"
+	"rdramstream/internal/service"
+	"rdramstream/internal/sim"
+)
+
+// Sweep is one distributed sweep in flight. Results land in input-order
+// slots exactly once each; Wait streams them back in order.
+type Sweep struct {
+	co   *Coordinator
+	id   string
+	scs  []sim.Scenario
+	keys []string
+
+	mu        sync.Mutex
+	lines     []*service.SweepLine
+	landed    int
+	cacheHits int
+	failed    int
+	reshards  int64
+	dupes     int64 // rows arriving for an already-landed slot (dropped)
+
+	ready []chan struct{} // ready[i] closes when lines[i] lands
+	done  chan struct{}   // closes when every line has landed
+}
+
+// ID returns the sweep's identifier ("fswp-%06d").
+func (sw *Sweep) ID() string { return sw.id }
+
+// Done is closed when every scenario has a terminal line.
+func (sw *Sweep) Done() <-chan struct{} { return sw.done }
+
+// Reshards reports how many scenario re-assignments failover performed.
+func (sw *Sweep) Reshards() int64 {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.reshards
+}
+
+// Duplicates reports rows that arrived for already-landed slots (always
+// dropped; nonzero only if a worker misbehaves).
+func (sw *Sweep) Duplicates() int64 {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.dupes
+}
+
+// Wait blocks until scenario i's line lands (or ctx is done) and returns
+// it. Streaming responses call it for i = 0, 1, 2, … to emit the merged
+// stream in input order.
+func (sw *Sweep) Wait(ctx context.Context, i int) (service.SweepLine, error) {
+	if i < 0 || i >= len(sw.ready) {
+		return service.SweepLine{}, fmt.Errorf("fabric: sweep %s has no scenario %d", sw.id, i)
+	}
+	select {
+	case <-sw.ready[i]:
+		sw.mu.Lock()
+		l := *sw.lines[i]
+		sw.mu.Unlock()
+		return l, nil
+	case <-ctx.Done():
+		return service.SweepLine{}, context.Cause(ctx)
+	}
+}
+
+// Summary builds the trailing NDJSON summary line from the landed state.
+func (sw *Sweep) Summary() service.SweepLine {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return service.SweepLine{
+		Done: true, JobID: sw.id, Total: len(sw.scs),
+		CacheHits: sw.cacheHits, Failed: sw.failed,
+	}
+}
+
+// land records scenario gi's terminal line exactly once; late duplicates
+// (a misbehaving worker emitting rows for a slot failover already
+// refilled) are counted and dropped, keeping the merged stream
+// duplicate-free by construction.
+func (sw *Sweep) land(gi int, l service.SweepLine) {
+	l.Index = gi
+	l.Done = false
+	l.JobID = ""
+	sw.mu.Lock()
+	if sw.lines[gi] != nil {
+		sw.dupes++
+		sw.mu.Unlock()
+		return
+	}
+	sw.lines[gi] = &l
+	sw.landed++
+	if l.Cached {
+		sw.cacheHits++
+	}
+	if l.Error != "" {
+		sw.failed++
+	}
+	allDone := sw.landed == len(sw.lines)
+	sw.mu.Unlock()
+	close(sw.ready[gi])
+	if allDone {
+		close(sw.done)
+	}
+}
+
+// landedSet reports which of the given indices already have lines.
+func (sw *Sweep) landedSet(idx []int) map[int]bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	out := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		out[i] = sw.lines[i] != nil
+	}
+	return out
+}
+
+// StartSweep admits and launches a distributed sweep. Scenarios are
+// validated and keyed up front (a malformed sweep is rejected whole);
+// ErrSaturated means admission control shed the request. ctx scopes the
+// whole sweep: when it is canceled, unlanded scenarios fail with its
+// cause so no waiter hangs.
+func (c *Coordinator) StartSweep(ctx context.Context, scs []sim.Scenario) (*Sweep, error) {
+	if len(scs) == 0 {
+		return nil, ErrEmptySweep
+	}
+	keys := make([]string, len(scs))
+	for i, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("fabric: scenario %d: %w", i, err)
+		}
+		key, err := resultcache.Key(sc)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: scenario %d: %w", i, err)
+		}
+		keys[i] = key
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.inflight >= c.cfg.MaxInFlightSweeps {
+		c.stats.Shed++
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d in flight", ErrSaturated, c.cfg.MaxInFlightSweeps)
+	}
+	c.inflight++
+	c.nextSweep++
+	c.stats.Sweeps++
+	id := fmt.Sprintf("fswp-%06d", c.nextSweep)
+	c.mu.Unlock()
+
+	sw := &Sweep{
+		co: c, id: id, scs: scs, keys: keys,
+		lines: make([]*service.SweepLine, len(scs)),
+		ready: make([]chan struct{}, len(scs)),
+		done:  make(chan struct{}),
+	}
+	for i := range sw.ready {
+		sw.ready[i] = make(chan struct{})
+	}
+	go sw.run(ctx)
+	return sw, nil
+}
+
+// RunAll runs scs through the fabric and collects the outcomes in input
+// order — the distributed drop-in for sim.RunAll, and the byte-identity
+// oracle's left-hand side in the chaos tests. Any per-scenario error
+// aborts with that scenario's error, mirroring local sweep semantics.
+func (c *Coordinator) RunAll(ctx context.Context, scs []sim.Scenario) ([]sim.Outcome, error) {
+	sw, err := c.StartSweep(ctx, scs)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]sim.Outcome, len(scs))
+	for i := range scs {
+		l, err := sw.Wait(ctx, i)
+		if err != nil {
+			return nil, err
+		}
+		if l.Error != "" {
+			return nil, fmt.Errorf("fabric: scenario %d (%s): %s", i, l.Label, l.Error)
+		}
+		if l.Outcome == nil {
+			return nil, fmt.Errorf("fabric: scenario %d (%s): line carries no outcome", i, l.Label)
+		}
+		outs[i] = *l.Outcome
+	}
+	return outs, nil
+}
+
+// Simulate runs one scenario through the fabric (sharded to its owner,
+// with the full failover ladder behind it) and shapes the response like
+// POST /v1/simulate.
+func (c *Coordinator) Simulate(ctx context.Context, sc sim.Scenario) (service.SimulateResponse, error) {
+	sw, err := c.StartSweep(ctx, []sim.Scenario{sc})
+	if err != nil {
+		return service.SimulateResponse{}, err
+	}
+	l, err := sw.Wait(ctx, 0)
+	if err != nil {
+		return service.SimulateResponse{}, err
+	}
+	if l.Error != "" {
+		return service.SimulateResponse{}, fmt.Errorf("fabric: %s", l.Error)
+	}
+	return service.SimulateResponse{
+		JobID: sw.id, Cached: l.Cached, Key: sw.keys[0], Outcome: *l.Outcome,
+	}, nil
+}
+
+// group is one round's work for one destination.
+type group struct {
+	addr string // "" = local
+	idx  []int  // global scenario indices, ascending
+}
+
+// run is the sweep engine: round after round, assign pending scenarios
+// to live workers by consistent hash (exhausted or unassignable ones to
+// the local service), execute the groups in parallel, and re-shard
+// whatever a failed worker left unacknowledged. Terminates because every
+// round either lands scenarios or burns remote attempts, and a scenario
+// out of attempts runs locally, which always lands a terminal line.
+func (sw *Sweep) run(ctx context.Context) {
+	c := sw.co
+	defer func() {
+		c.mu.Lock()
+		c.inflight--
+		c.mu.Unlock()
+	}()
+
+	pending := make([]int, len(sw.scs))
+	for i := range pending {
+		pending[i] = i
+	}
+	attempts := make([]int, len(sw.scs))
+	backoff := c.cfg.RetryBackoff
+
+	for len(pending) > 0 && ctx.Err() == nil {
+		addrs, backends := c.liveSet()
+		ring := shard.New(addrs, c.cfg.Replicas)
+
+		// Assign in ascending index order: deterministic grouping, and
+		// each worker receives its sub-sweep in global input order.
+		var groups []group
+		byAddr := make(map[string]int, len(addrs))
+		var local []int
+		for _, i := range pending {
+			if attempts[i] >= c.cfg.MaxScenarioRetries {
+				local = append(local, i)
+				continue
+			}
+			owner, ok := ring.Owner(sw.keys[i])
+			if !ok {
+				local = append(local, i)
+				continue
+			}
+			gi, seen := byAddr[owner]
+			if !seen {
+				gi = len(groups)
+				byAddr[owner] = gi
+				groups = append(groups, group{addr: owner})
+			}
+			groups[gi].idx = append(groups[gi].idx, i)
+		}
+
+		unacked := make([][]int, len(groups))
+		var wg sync.WaitGroup
+		for gi := range groups {
+			wg.Add(1)
+			go func(gi int) {
+				defer wg.Done()
+				g := groups[gi]
+				unacked[gi] = sw.runRemote(ctx, backends[g.addr], g)
+			}(gi)
+		}
+		if len(local) > 0 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sw.runLocal(ctx, local)
+			}()
+		}
+		wg.Wait()
+
+		var next []int
+		for _, u := range unacked {
+			next = append(next, u...)
+		}
+		sort.Ints(next)
+		for _, i := range next {
+			attempts[i]++
+		}
+		if len(next) > 0 {
+			sw.mu.Lock()
+			sw.reshards += int64(len(next))
+			sw.mu.Unlock()
+			c.mu.Lock()
+			c.stats.Reshards += int64(len(next))
+			c.mu.Unlock()
+		}
+		progressed := len(next) < len(pending)
+		pending = next
+		if len(pending) > 0 && !progressed {
+			// A barren round: every assignment failed. Back off before
+			// re-sharding so a flapping fleet isn't hammered, doubling up
+			// to a cap; any progress resets the backoff.
+			select {
+			case <-ctx.Done():
+			case <-time.After(backoff):
+			}
+			if backoff < 16*c.cfg.RetryBackoff {
+				backoff *= 2
+			}
+		} else {
+			backoff = c.cfg.RetryBackoff
+		}
+	}
+
+	// Canceled mid-flight: land the cancellation cause in every empty
+	// slot so Wait never hangs.
+	if err := ctx.Err(); err != nil {
+		cause := context.Cause(ctx)
+		for i := range sw.scs {
+			sw.mu.Lock()
+			landed := sw.lines[i] != nil
+			sw.mu.Unlock()
+			if !landed {
+				sw.land(i, service.SweepLine{Label: sw.scs[i].Label(), Error: cause.Error()})
+			}
+		}
+	}
+}
+
+// runRemote streams one worker's sub-sweep, landing rows as they arrive,
+// and returns the global indices the worker never acknowledged (nil on
+// full success). Any failure — transport, mid-stream death, a malformed
+// row — books one failure against the worker and hands the remainder
+// back for re-sharding.
+func (sw *Sweep) runRemote(ctx context.Context, b Backend, g group) (unackedIdx []int) {
+	c := sw.co
+	sub := make([]sim.Scenario, len(g.idx))
+	for p, i := range g.idx {
+		sub[p] = sw.scs[i]
+	}
+	acked := make([]bool, len(g.idx))
+	attemptCtx := ctx
+	if c.cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		attemptCtx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+		defer cancel()
+	}
+	_, err := b.Sweep(attemptCtx, sub, func(l service.SweepLine) error {
+		p := l.Index
+		if p < 0 || p >= len(g.idx) || acked[p] {
+			return fmt.Errorf("fabric: worker %s emitted bogus row index %d (sub-sweep of %d)", g.addr, p, len(g.idx))
+		}
+		acked[p] = true
+		sw.land(g.idx[p], l)
+		return nil
+	})
+	c.mu.Lock()
+	c.stats.RemoteScenarios += int64(len(g.idx))
+	c.mu.Unlock()
+	if err == nil {
+		// Defensive: a summary without every row is a worker bug; treat
+		// missing rows like a failure so they re-shard.
+		missing := unackedOf(g.idx, acked)
+		if len(missing) == 0 {
+			c.recordSuccess(g.addr)
+			return nil
+		}
+		c.recordFailure(g.addr)
+		return missing
+	}
+	c.recordFailure(g.addr)
+	return unackedOf(g.idx, acked)
+}
+
+// unackedOf maps unacknowledged sub-positions back to global indices.
+func unackedOf(idx []int, acked []bool) []int {
+	var out []int
+	for p, i := range idx {
+		if !acked[p] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// runLocal executes indices on the coordinator's own service — the
+// bottom of the degradation ladder. Every index lands a terminal line:
+// local execution is never re-sharded.
+func (sw *Sweep) runLocal(ctx context.Context, idx []int) {
+	c := sw.co
+	sub := make([]sim.Scenario, len(idx))
+	for p, i := range idx {
+		sub[p] = sw.scs[i]
+	}
+	c.mu.Lock()
+	c.stats.LocalScenarios += int64(len(idx))
+	c.mu.Unlock()
+	job, err := c.cfg.Local.Submit(ctx, sub)
+	if err != nil {
+		for _, i := range idx {
+			sw.land(i, service.SweepLine{Label: sw.scs[i].Label(), Error: err.Error()})
+		}
+		return
+	}
+	for p, i := range idx {
+		res, err := job.WaitResult(ctx, p)
+		if err != nil {
+			sw.land(i, service.SweepLine{Label: sw.scs[i].Label(), Error: err.Error()})
+			continue
+		}
+		sw.land(i, service.SweepLine{
+			Label: res.Label, Cached: res.Cached,
+			Outcome: res.Outcome, Error: res.Error,
+		})
+	}
+}

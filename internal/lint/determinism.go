@@ -20,6 +20,11 @@ var corePackages = map[string]bool{
 	"sim":         true,
 	"fault":       true,
 	"resultcache": true,
+	// The fabric shard ring: assignment must be a pure function of
+	// (members, key) so the same scenario always hashes to the same
+	// worker. Wall-clock health bookkeeping lives one package up, in
+	// fabric, which is deliberately NOT core.
+	"shard": true,
 }
 
 // bannedFuncs maps fully qualified function names to the reason they are

@@ -25,6 +25,10 @@ func TestDeterminism(t *testing.T) {
 			dirs: []string{"determinism/smc"},
 		},
 		{
+			name: "shard ring is core: assignment never consults the clock or global rand",
+			dirs: []string{"determinism/shard"},
+		},
+		{
 			name: "both together still only flag the core",
 			dirs: []string{"determinism", "determinism/clock"},
 		},

@@ -22,6 +22,7 @@ var fixtureDirs = []string{
 	"determinism/clock",
 	"determinism/engine",
 	"determinism/obs",
+	"determinism/shard",
 	"determinism/smc",
 	"maprange",
 	"stallcause",

@@ -1,0 +1,43 @@
+// Package shard is a lint fixture: it borrows the fabric shard ring's
+// package name — simulation-core rules apply, because shard assignment
+// must be a pure function of (members, key). A coordinator that breaks
+// ties on the wall clock or jitters placement with the global generator
+// would route the same scenario to different workers run to run,
+// defeating the cache-affinity shard key and the chaos tests' replay
+// determinism.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/rand"
+	"time"
+)
+
+// Hash is the required idiom: a stable content hash, pure in its input.
+// Nothing here is flagged.
+func Hash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// JitteredOwner perturbs placement with the shared global generator,
+// making assignment seed-independent.
+func JitteredOwner(points []uint64, key string) int {
+	if len(points) == 0 {
+		return -1
+	}
+	return int((Hash(key) + rand.Uint64()) % uint64(len(points))) // want "global math/rand.Uint64"
+}
+
+// FreshnessBias prefers owners by wall-clock recency, which the ring
+// must never consult: liveness is the coordinator's job, upstream of
+// assignment.
+func FreshnessBias(seen map[string]time.Time, id string) bool {
+	return time.Since(seen[id]) < time.Second // want "time.Since in simulation core"
+}
+
+// RebuildEpoch stamps ring rebuilds with the wall clock.
+func RebuildEpoch() int64 {
+	return time.Now().UnixNano() // want "time.Now in simulation core"
+}

@@ -1,0 +1,40 @@
+package maprange
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The shard-assignment shapes the fabric coordinator must get right:
+// grouping scenarios by owner is naturally a map of owner -> indices,
+// and dispatch order must not inherit the map's randomized iteration
+// order — a re-sharded retry that walked groups in a different order
+// would book failures and retries against workers in a different
+// sequence run to run.
+
+// AssignLeaky fans grouped work out in map order.
+func AssignLeaky(groups map[string][]int) []string {
+	var dispatch []string
+	for owner := range groups {
+		dispatch = append(dispatch, owner) // want "append to \"dispatch\" inside map iteration"
+	}
+	return dispatch
+}
+
+// AssignSorted is the blessed idiom the fabric sweep engine uses:
+// group into the map, then walk a sorted owner list.
+func AssignSorted(groups map[string][]int) []string {
+	dispatch := make([]string, 0, len(groups))
+	for owner := range groups {
+		dispatch = append(dispatch, owner)
+	}
+	sort.Strings(dispatch)
+	return dispatch
+}
+
+// ReportAssignments streams the plan in map order.
+func ReportAssignments(groups map[string][]int) {
+	for owner, idx := range groups {
+		fmt.Printf("%s: %d scenarios\n", owner, len(idx)) // want "fmt.Printf inside map iteration"
+	}
+}

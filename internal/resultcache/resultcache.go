@@ -13,9 +13,12 @@
 //     build's version.Stamp. Equal simulations hash equal regardless of
 //     how the scenario was spelled; any model or version change changes
 //     every key.
-//   - an in-memory LRU bounded by entry count, and an optional on-disk
-//     JSON store (one file per key) that survives restarts and is shared
-//     between processes;
+//   - a tiered store: an in-memory LRU bounded by entry count, an
+//     optional peer tier (PeerFunc — the fabric coordinator wires one
+//     that asks the key's owning worker), and an optional on-disk JSON
+//     store (one file per key) that survives restarts and is shared
+//     between processes; misses walk memory → peer → disk, and finds
+//     from the outer tiers are promoted to memory;
 //   - singleflight deduplication: identical scenarios requested
 //     concurrently run once, and every waiter receives the same outcome.
 //
@@ -45,6 +48,14 @@ import (
 // the service layer substitutes a runner that attaches telemetry first.
 type Runner func(sim.Scenario) (sim.Outcome, error)
 
+// PeerFunc consults a remote cache tier for a key — the fabric
+// coordinator wires one that asks the key's owning worker. It must be
+// best-effort and purely observational: return ok=false on any doubt
+// (miss, timeout, transport failure) and never influence the outcome a
+// fresh run would produce. The cache calls it between the in-memory LRU
+// and the disk store, so the tier order is local LRU → peer → disk.
+type PeerFunc func(ctx context.Context, key string) (sim.Outcome, bool)
+
 // Options configures a Cache. The zero value is usable: 1024 in-memory
 // entries, no disk store.
 type Options struct {
@@ -55,6 +66,10 @@ type Options struct {
 	// key under this directory, created on first use. Disk entries whose
 	// version stamp no longer matches the binary are ignored.
 	Dir string
+	// Peer, when non-nil, is the remote tier consulted on an in-memory
+	// miss, before disk. It can also be wired after construction with
+	// SetPeer (the fabric coordinator learns its workers at runtime).
+	Peer PeerFunc
 }
 
 // Stats is a point-in-time snapshot of the cache's counters. All
@@ -72,6 +87,10 @@ type Stats struct {
 	// promoted to memory. A Do rescued by disk also counts as a Hit, so
 	// DiskHits is a subset of Hits and disjoint from Misses.
 	DiskHits int64 `json:"disk_hits"`
+	// PeerHits counts Do lookups rescued by the peer tier and promoted
+	// to memory. Like DiskHits, a subset of Hits, disjoint from both
+	// DiskHits and Misses.
+	PeerHits int64 `json:"peer_hits"`
 	// Dedups counts requests that piggybacked on an identical in-flight
 	// simulation instead of starting their own.
 	Dedups int64 `json:"dedups"`
@@ -97,6 +116,11 @@ type Cache struct {
 
 	flightMu sync.Mutex
 	inflight map[string]*flight
+
+	// peerMu guards peer, which can be wired after construction
+	// (SetPeer) once the fabric coordinator knows its workers.
+	peerMu sync.RWMutex
+	peer   PeerFunc
 
 	// statsMu guards every counter as one group: increments that belong
 	// together (a disk rescue is a Hit AND a DiskHit) happen in a single
@@ -147,7 +171,24 @@ func New(o Options) (*Cache, error) {
 		}
 		c.disk = d
 	}
+	c.peer = o.Peer
 	return c, nil
+}
+
+// SetPeer installs (or clears, with nil) the peer tier. Safe to call
+// concurrently with lookups; in-flight lookups may still use the old
+// func.
+func (c *Cache) SetPeer(p PeerFunc) {
+	c.peerMu.Lock()
+	c.peer = p
+	c.peerMu.Unlock()
+}
+
+func (c *Cache) peerFunc() PeerFunc {
+	c.peerMu.RLock()
+	p := c.peer
+	c.peerMu.RUnlock()
+	return p
 }
 
 // Key returns the content address of a scenario: a hex SHA-256 over its
@@ -195,36 +236,77 @@ func (c *Cache) Get(sc sim.Scenario) (sim.Outcome, bool, error) {
 	if err != nil {
 		return sim.Outcome{}, false, err
 	}
-	out, ok, _ := c.lookup(key)
+	out, ok, _ := c.lookup(context.Background(), key)
 	return out, ok, nil
 }
 
-// lookup checks memory then disk, reporting where the find came from. It
-// touches no hit/miss counters — Do owns those and folds fromDisk into
-// its own grouped increment, so a disk rescue counts as Hit+DiskHit in
-// one consistent step.
-func (c *Cache) lookup(key string) (out sim.Outcome, ok, fromDisk bool) {
+// tier says where a lookup find came from.
+type tier int
+
+const (
+	tierMemory tier = iota
+	tierPeer
+	tierDisk
+)
+
+// lookup checks the tiers in order — memory, peer, disk — reporting
+// where the find came from. It touches no hit/miss counters — Do owns
+// those and folds the tier into its own grouped increment, so a peer or
+// disk rescue counts as Hit+PeerHit/DiskHit in one consistent step. ctx
+// bounds only the peer consult (the remote call); memory and disk are
+// local and unconditional.
+func (c *Cache) lookup(ctx context.Context, key string) (out sim.Outcome, ok bool, src tier) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		out := el.Value.(*entry).out
 		c.mu.Unlock()
-		return out, true, false
+		return out, true, tierMemory
 	}
 	c.mu.Unlock()
+	if peer := c.peerFunc(); peer != nil && ctx.Err() == nil {
+		if out, ok := peer(ctx, key); ok {
+			c.store(key, out, false) // a peer holds it durably; promote to memory only
+			return out, true, tierPeer
+		}
+	}
 	if c.disk == nil {
-		return sim.Outcome{}, false, false
+		return sim.Outcome{}, false, tierMemory
 	}
 	out, ok, err := c.disk.load(key, c.vstamp)
 	if err != nil {
 		c.count(func(s *Stats) { s.DiskErrors++ })
-		return sim.Outcome{}, false, false
+		return sim.Outcome{}, false, tierMemory
 	}
 	if !ok {
-		return sim.Outcome{}, false, false
+		return sim.Outcome{}, false, tierMemory
 	}
 	c.store(key, out, false) // already on disk; promote to memory only
-	return out, true, true
+	return out, true, tierDisk
+}
+
+// Peek looks a raw key up in the local tiers only — memory, then disk,
+// never the peer tier — and touches no counters. It is what a server
+// answers peer probes (GET /v1/cache/{key}) from; skipping the peer tier
+// here is what makes probe forwarding loops impossible.
+func (c *Cache) Peek(key string) (sim.Outcome, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		out := el.Value.(*entry).out
+		c.mu.Unlock()
+		return out, true
+	}
+	c.mu.Unlock()
+	if c.disk == nil {
+		return sim.Outcome{}, false
+	}
+	out, ok, err := c.disk.load(key, c.vstamp)
+	if err != nil || !ok {
+		return sim.Outcome{}, false
+	}
+	c.store(key, out, false)
+	return out, true
 }
 
 // store inserts into the LRU (evicting from the back past capacity) and,
@@ -289,10 +371,13 @@ func (c *Cache) Do(ctx context.Context, sc sim.Scenario, run Runner) (sim.Outcom
 	if err != nil {
 		return sim.Outcome{}, false, err
 	}
-	if out, ok, fromDisk := c.lookup(key); ok {
+	if out, ok, src := c.lookup(ctx, key); ok {
 		c.count(func(s *Stats) {
 			s.Hits++
-			if fromDisk {
+			switch src {
+			case tierPeer:
+				s.PeerHits++
+			case tierDisk:
 				s.DiskHits++
 			}
 		})

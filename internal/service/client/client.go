@@ -1,7 +1,8 @@
 // Package client is the Go client for the rdserved HTTP API
 // (internal/service): submit scenarios and sweeps to a running server
 // instead of simulating in-process, sharing its result cache with every
-// other client. cmd/sweep's -server flag is built on it.
+// other client. cmd/sweep's -server flag is built on it, and the fabric
+// coordinator (internal/fabric) uses it as the transport to its workers.
 package client
 
 import (
@@ -9,14 +10,47 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"rdramstream/internal/service"
 	"rdramstream/internal/sim"
 )
+
+// StatusError is the typed error for every non-2xx server response: it
+// carries the HTTP status code so callers (retry loops, circuit
+// breakers) can classify failures instead of parsing error strings.
+// Match with errors.As.
+type StatusError struct {
+	// Code is the HTTP status code (e.g. 429, 503).
+	Code int
+	// Status is the full status line text ("503 Service Unavailable").
+	Status string
+	// Message is the server's error body (the "error" field of the JSON
+	// body when present, the raw body otherwise).
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server %s: %s", e.Status, e.Message)
+}
+
+// Temporary reports whether the failure is worth retrying: 429 (shed by
+// admission control) and 5xx (overload, shutdown, transient server
+// faults) are; 4xx request errors are not.
+func (e *StatusError) Temporary() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code >= 500
+}
+
+// IsStatus reports whether err carries the given HTTP status code.
+func IsStatus(err error, code int) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == code
+}
 
 // Client talks to one rdserved instance. The zero HTTPClient means
 // http.DefaultClient.
@@ -26,6 +60,11 @@ type Client struct {
 	// HTTPClient, when non-nil, overrides http.DefaultClient (tests,
 	// timeouts, transports).
 	HTTPClient *http.Client
+	// Timeout, when positive, bounds each request end to end — for
+	// streaming calls (Sweep) it covers the whole stream, not just the
+	// first byte. It composes with the caller's ctx: whichever deadline
+	// is earlier wins.
+	Timeout time.Duration
 }
 
 // New builds a client for a server root URL.
@@ -40,16 +79,27 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// apiError decodes the server's JSON error body into a Go error.
+// reqCtx applies the client's per-request timeout to ctx.
+func (c *Client) reqCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.Timeout > 0 {
+		return context.WithTimeout(ctx, c.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// apiError decodes the server's error body into a *StatusError.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	se := &StatusError{Code: resp.StatusCode, Status: resp.Status}
 	var e struct {
 		Error string `json:"error"`
 	}
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("client: server %s: %s", resp.Status, e.Error)
+		se.Message = e.Error
+	} else {
+		se.Message = string(bytes.TrimSpace(body))
 	}
-	return fmt.Errorf("client: server %s: %s", resp.Status, bytes.TrimSpace(body))
+	return se
 }
 
 func (c *Client) post(ctx context.Context, path string, body any) (*http.Response, error) {
@@ -66,6 +116,8 @@ func (c *Client) post(ctx context.Context, path string, body any) (*http.Respons
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
 		return err
@@ -84,6 +136,8 @@ func (c *Client) getJSON(ctx context.Context, path string, v any) error {
 // Simulate runs one scenario on the server and returns its response
 // (outcome, cache key, and whether it was a cache hit).
 func (c *Client) Simulate(ctx context.Context, sc sim.Scenario) (service.SimulateResponse, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	var out service.SimulateResponse
 	resp, err := c.post(ctx, "/v1/simulate", sc)
 	if err != nil {
@@ -104,6 +158,8 @@ func (c *Client) Simulate(ctx context.Context, sc sim.Scenario) (service.Simulat
 // nil); the trailing summary line is returned. A non-nil error from fn
 // aborts the stream.
 func (c *Client) Sweep(ctx context.Context, scs []sim.Scenario, fn func(service.SweepLine) error) (service.SweepLine, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	var summary service.SweepLine
 	resp, err := c.post(ctx, "/v1/sweep", service.SweepRequest{Scenarios: scs})
 	if err != nil {
@@ -175,6 +231,40 @@ func (c *Client) Health(ctx context.Context) (service.HealthResponse, error) {
 	return h, err
 }
 
+// RegisterWorker announces a worker's advertised base URL to a fabric
+// coordinator (POST /v1/fabric/register). Workers call it periodically:
+// registration is idempotent and doubles as a liveness refresh.
+func (c *Client) RegisterWorker(ctx context.Context, addr string) error {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
+	resp, err := c.post(ctx, "/v1/fabric/register", service.RegisterRequest{Addr: addr})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	return nil
+}
+
+// CachedOutcome asks the server's result cache for a key without running
+// anything (GET /v1/cache/{key}) — the peer tier of the layered cache. A
+// miss returns ok=false with a nil error; transport failures and non-404
+// statuses return the error.
+func (c *Client) CachedOutcome(ctx context.Context, key string) (sim.Outcome, bool, error) {
+	var out service.CacheEntryResponse
+	err := c.getJSON(ctx, "/v1/cache/"+key, &out)
+	if err != nil {
+		if IsStatus(err, http.StatusNotFound) {
+			return sim.Outcome{}, false, nil
+		}
+		return sim.Outcome{}, false, err
+	}
+	return out.Outcome, true, nil
+}
+
 // Metrics fetches the server's observability snapshot (the JSON view of
 // GET /metrics; the bare path serves Prometheus text exposition).
 func (c *Client) Metrics(ctx context.Context) (service.Metrics, error) {
@@ -185,6 +275,8 @@ func (c *Client) Metrics(ctx context.Context) (service.Metrics, error) {
 
 // MetricsText fetches the Prometheus text exposition of GET /metrics.
 func (c *Client) MetricsText(ctx context.Context) ([]byte, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
 	if err != nil {
 		return nil, err

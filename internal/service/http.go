@@ -59,6 +59,25 @@ type HealthResponse struct {
 	Version string `json:"version"`
 }
 
+// RegisterRequest is the body of POST /v1/fabric/register (served by the
+// fabric coordinator, sent by workers via client.RegisterWorker).
+//
+// rdlint:wire — fabric registration wire format.
+type RegisterRequest struct {
+	// Addr is the worker's advertised base URL, e.g. "http://10.0.0.7:8347".
+	Addr string `json:"addr"`
+}
+
+// CacheEntryResponse is the body of GET /v1/cache/{key}: one result-
+// cache entry looked up by its content address (the peer tier of the
+// layered cache). A miss is a 404.
+//
+// rdlint:wire — peer cache-probe wire format.
+type CacheEntryResponse struct {
+	Key     string      `json:"key"`
+	Outcome sim.Outcome `json:"outcome"`
+}
+
 // errorResponse is every non-2xx body.
 type errorResponse struct {
 	Error string `json:"error"`
@@ -97,6 +116,7 @@ func NewHandlerWith(s *Service, opt HandlerOptions) http.Handler {
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
 	mux.HandleFunc("GET /v1/requests/{id}", s.handleRequest)
 	mux.HandleFunc("GET /debug/requests", s.handleRequests)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -123,6 +143,8 @@ func routeLabel(r *http.Request) string {
 		return "GET /v1/jobs/{id}"
 	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/requests/"):
 		return "GET /v1/requests/{id}"
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/cache/"):
+		return "GET /v1/cache/{key}"
 	case r.Method == http.MethodGet && r.URL.Path == "/healthz":
 		return "GET /healthz"
 	case r.Method == http.MethodGet && r.URL.Path == "/metrics":
@@ -167,7 +189,7 @@ func (w *statusWriter) Flush() {
 // every few seconds would churn the ring out of useful request traces.
 func traced(route string) bool {
 	switch route {
-	case "GET /metrics", "GET /healthz", "GET /v1/requests/{id}", "debug", "other":
+	case "GET /metrics", "GET /healthz", "GET /v1/requests/{id}", "GET /v1/cache/{key}", "debug", "other":
 		return false
 	}
 	return true
@@ -350,6 +372,21 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
+// handleCachePeek answers peer cache probes: a raw content key, looked
+// up in this server's local tiers only (memory, then disk — never its
+// own peer tier, so probes cannot forward in a loop). Misses are 404;
+// no hit/miss counters move, so peer probing never skews serving
+// metrics.
+func (s *Service) handleCachePeek(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimSpace(r.PathValue("key"))
+	out, ok := s.cache.Peek(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no cached outcome for key %q", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, CacheEntryResponse{Key: key, Outcome: out})
+}
+
 // handleRequest serves one request trace by ID.
 func (s *Service) handleRequest(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimSpace(r.PathValue("id"))
@@ -410,6 +447,7 @@ func (s *Service) publishSnapshot(m Metrics) {
 	reg.SetCounter("rd_cache_hits_total", "Result-cache requests answered from memory.", float64(m.Cache.Hits))
 	reg.SetCounter("rd_cache_misses_total", "Result-cache requests that ran a simulation.", float64(m.Cache.Misses))
 	reg.SetCounter("rd_cache_disk_hits_total", "Result-cache lookups rescued by the disk store (subset of hits).", float64(m.Cache.DiskHits))
+	reg.SetCounter("rd_cache_peer_hits_total", "Result-cache lookups rescued by the peer tier (subset of hits).", float64(m.Cache.PeerHits))
 	reg.SetCounter("rd_cache_dedups_total", "Requests that piggybacked on an identical in-flight simulation.", float64(m.Cache.Dedups))
 	reg.SetCounter("rd_cache_evictions_total", "LRU entries displaced by newer ones.", float64(m.Cache.Evictions))
 	reg.SetCounter("rd_cache_disk_errors_total", "Best-effort disk reads/writes that failed.", float64(m.Cache.DiskErrors))
