@@ -151,6 +151,7 @@ func main() {
 			{"crisp_efficiency", experiments.CrispEfficiency},
 			{"prior_fpm_system", experiments.PriorSystem},
 			{"policy_cross", experiments.PolicyCross},
+			{"llm_kvcache", experiments.LLMKVCache},
 			{"fault_degradation", func() (*experiments.Table, error) { return experiments.FaultSweep(42, nil) }},
 		} {
 			t, err := ext.gen()

@@ -48,7 +48,9 @@ import (
 	"rdramstream/internal/service/client"
 	"rdramstream/internal/sim"
 	"rdramstream/internal/stream"
+	"rdramstream/internal/tracegen"
 	"rdramstream/internal/version"
+	"rdramstream/internal/workload"
 )
 
 // LatencySummary holds request-latency percentiles in microseconds.
@@ -93,6 +95,23 @@ type Summary struct {
 	MetricsExpositionSamples int              `json:"metrics_exposition_samples"`
 	Server                   *service.Metrics `json:"server,omitempty"`
 	Fabric                   *FabricSummary   `json:"fabric,omitempty"`
+	Trace                    *TraceSummary    `json:"trace,omitempty"`
+}
+
+// TraceSummary is the -trace-mix section of BENCH_service_load.json:
+// the POST /v1/trace slice of the load, reported separately because a
+// trace request ships its whole NDJSON body per call and so has a very
+// different latency profile from a scenario POST.
+//
+// rdlint:wire — part of the BENCH_service_load.json schema; field names
+// are pinned (CI's load-smoke jq assertions use them).
+type TraceSummary struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// CachedRate is the fraction of trace responses flagged Cached —
+	// re-POSTs of an identical trace deduplicating on its content digest.
+	CachedRate float64        `json:"cached_rate"`
+	Latency    LatencySummary `json:"latency_us"`
 }
 
 // FabricSummary is the fleet-mode section of BENCH_service_load.json:
@@ -127,6 +146,7 @@ type config struct {
 	fleet     int
 	chaos     bool
 	chaosSeed int64
+	traceMix  float64
 }
 
 func main() {
@@ -140,6 +160,7 @@ func main() {
 	flag.IntVar(&cfg.fleet, "fleet", 0, "spawn this many in-process fabric workers plus a coordinator and drive the coordinator")
 	flag.BoolVar(&cfg.chaos, "chaos", false, "fleet mode: hard-kill workers mid-run on a seeded schedule")
 	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 1, "seed for the chaos kill schedule")
+	flag.Float64Var(&cfg.traceMix, "trace-mix", 0, "fraction of requests that POST a generated NDJSON trace to /v1/trace (0..1)")
 	showVersion := flag.Bool("version", false, "print the version stamp and exit")
 	flag.Parse()
 
@@ -206,11 +227,53 @@ func mix(seed int64) (all, hot []sim.Scenario) {
 	return all, hot
 }
 
+// traceJob is one pre-generated trace the -trace-mix slice POSTs: the
+// materialized accesses plus the scenario to replay them under. The
+// population is fixed per run, so repeats hit the content-digest cache.
+type traceJob struct {
+	name string
+	sc   sim.Scenario
+	accs []workload.TraceAccess
+}
+
+// traceJobs builds the -trace-mix population: one trace per generator
+// pattern, seeded, modest sizes so a single replay stays fast.
+func traceJobs(seed int64) ([]traceJob, error) {
+	specs := []string{
+		"llm-kvcache:n=8192,ctxrows=32",
+		"hot-row:n=4096,footprint=65536",
+		"strided:n=4096,stride=16",
+		"chase:n=2048,footprint=65536",
+	}
+	jobs := make([]traceJob, 0, len(specs))
+	for _, s := range specs {
+		prog, err := tracegen.ParseProgram(s, seed)
+		if err != nil {
+			return nil, fmt.Errorf("trace mix %q: %w", s, err)
+		}
+		accs, err := prog.Generate()
+		if err != nil {
+			return nil, fmt.Errorf("trace mix %q: %w", s, err)
+		}
+		jobs = append(jobs, traceJob{
+			name: prog.Name,
+			sc: sim.Scenario{
+				Scheme: addrmap.PI, Mode: sim.SMC, FIFODepth: 32,
+			},
+			accs: accs,
+		})
+	}
+	return jobs, nil
+}
+
 // clientStats is one load goroutine's tally, merged after the run.
 type clientStats struct {
 	requests, scenarios, sweeps, errors int64
 	cachedScenarios                     int64
 	latenciesUS                         []int64
+	traceRequests, traceErrors          int64
+	traceCached                         int64
+	traceLatenciesUS                    []int64
 }
 
 func run(cfg config) (Summary, error) {
@@ -250,6 +313,17 @@ func run(cfg config) (Summary, error) {
 	}
 
 	all, hot := mix(cfg.seed)
+	var traces []traceJob
+	if cfg.traceMix > 0 {
+		if cfg.traceMix > 1 {
+			cfg.traceMix = 1
+		}
+		t, err := traceJobs(cfg.seed)
+		if err != nil {
+			return sum, err
+		}
+		traces = t
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
 	defer cancel()
 	start := time.Now()
@@ -260,7 +334,7 @@ func run(cfg config) (Summary, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			drive(ctx, cl, rand.New(rand.NewSource(cfg.seed+int64(i))), all, hot, &stats[i])
+			drive(ctx, cl, rand.New(rand.NewSource(cfg.seed+int64(i))), all, hot, traces, cfg.traceMix, &stats[i])
 		}(i)
 	}
 	kills := 0
@@ -270,8 +344,10 @@ func run(cfg config) (Summary, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var lats []int64
+	var lats, traceLats []int64
 	var cached int64
+	var tsum TraceSummary
+	var traceCached int64
 	for _, st := range stats {
 		sum.Requests += st.requests
 		sum.Scenarios += st.scenarios
@@ -279,6 +355,17 @@ func run(cfg config) (Summary, error) {
 		sum.Errors += st.errors
 		cached += st.cachedScenarios
 		lats = append(lats, st.latenciesUS...)
+		tsum.Requests += st.traceRequests
+		tsum.Errors += st.traceErrors
+		traceCached += st.traceCached
+		traceLats = append(traceLats, st.traceLatenciesUS...)
+	}
+	if cfg.traceMix > 0 {
+		if tsum.Requests > 0 {
+			tsum.CachedRate = float64(traceCached) / float64(tsum.Requests)
+		}
+		tsum.Latency = summarizeLatencies(traceLats)
+		sum.Trace = &tsum
 	}
 	sum.DurationSec = elapsed.Seconds()
 	if elapsed > 0 {
@@ -332,8 +419,9 @@ func run(cfg config) (Summary, error) {
 }
 
 // drive is one client's loop: mostly single simulates drawn 60% from the
-// hot set, with a 5% chance of a small sweep, until the context expires.
-func drive(ctx context.Context, cl *client.Client, rng *rand.Rand, all, hot []sim.Scenario, st *clientStats) {
+// hot set, with a 5% chance of a small sweep and a traceMix chance of a
+// trace POST, until the context expires.
+func drive(ctx context.Context, cl *client.Client, rng *rand.Rand, all, hot []sim.Scenario, traces []traceJob, traceMix float64, st *clientStats) {
 	pick := func() sim.Scenario {
 		if rng.Float64() < 0.6 {
 			return hot[rng.Intn(len(hot))]
@@ -342,6 +430,29 @@ func drive(ctx context.Context, cl *client.Client, rng *rand.Rand, all, hot []si
 	}
 	for ctx.Err() == nil {
 		reqStart := time.Now()
+		if len(traces) > 0 && rng.Float64() < traceMix {
+			t := traces[rng.Intn(len(traces))]
+			resp, err := cl.Trace(ctx, t.sc, t.name, t.accs)
+			if ctx.Err() != nil {
+				return
+			}
+			st.requests++
+			st.traceRequests++
+			st.scenarios++
+			if err != nil {
+				st.errors++
+				st.traceErrors++
+				continue
+			}
+			if resp.Cached {
+				st.cachedScenarios++
+				st.traceCached++
+			}
+			lat := time.Since(reqStart).Microseconds()
+			st.latenciesUS = append(st.latenciesUS, lat)
+			st.traceLatenciesUS = append(st.traceLatenciesUS, lat)
+			continue
+		}
 		if rng.Float64() < 0.05 {
 			scs := make([]sim.Scenario, 2+rng.Intn(3))
 			for i := range scs {

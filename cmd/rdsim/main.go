@@ -45,6 +45,10 @@ func main() {
 	cacheWords := flag.Int("cache", 0, "natural-order: put a real cache of this many 64-bit words in front (0 = paper's ideal line buffers)")
 	cacheWays := flag.Int("cacheways", 1, "associativity of the -cache model")
 	seed := flag.Int64("seed", 1, "data pattern seed")
+	traceGen := flag.String("trace-gen", "", "replay a generated trace instead of a kernel: a program spec (e.g. \"llm-kvcache:n=16384\") or @file for an NDJSON trace")
+	traceSeed := flag.Int64("trace-seed", 1, "trace generator seed (with -trace-gen)")
+	traceOut := flag.String("trace-out", "", "write the materialized trace as NDJSON to this file (with -trace-gen)")
+	outstanding := flag.Int("outstanding", 0, "trace replay pipeline depth (0 = device limit of 4)")
 	jsonOut := flag.Bool("json", false, "emit the outcome as JSON (for scripting)")
 	check := flag.Bool("check", false, "validate the recorded device trace against the Direct RDRAM protocol oracle; exit non-zero on violations")
 	metricsOut := flag.String("metrics-out", "", "write telemetry metrics (stall attribution, per-bank counters, windowed series) as JSON to this file")
@@ -87,6 +91,30 @@ func main() {
 	if *faultSeverity > 0 {
 		fc := rdramstream.ScaledFaults(*faultSeed, *faultSeverity)
 		sc.Fault = &fc
+	}
+
+	traceName := ""
+	if *traceGen != "" {
+		spec, name, err := rdramstream.TraceSpecFromArg(*traceGen, *traceSeed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		spec.Outstanding = *outstanding
+		// Trace replay supersedes the kernel fields entirely.
+		sc.KernelName, sc.N, sc.Stride = "", 0, 0
+		sc.Workload = spec
+		traceName = name
+		if *traceOut != "" {
+			accs, err := spec.Materialize()
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := writeFile(*traceOut, func(w io.Writer) error {
+				return rdramstream.EncodeTrace(w, name, accs)
+			}); err != nil {
+				fatalf("trace out: %v", err)
+			}
+		}
 	}
 
 	if sc.Scheme, err = rdramstream.ParseInterleave(*scheme); err != nil {
@@ -148,6 +176,10 @@ func main() {
 		}
 	}
 
+	kernelLabel, nLabel, strideLabel := *kernel, *n, *stride
+	if sc.Workload != nil {
+		kernelLabel, nLabel, strideLabel = "trace:"+traceName, 0, 0
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -159,11 +191,11 @@ func main() {
 			Mode      string
 			FIFODepth int `json:",omitempty"`
 			rdramstream.Outcome
-		}{*kernel, *n, *stride, sc.Scheme.String(), sc.Mode.String(), *fifo, out}); err != nil {
+		}{kernelLabel, nLabel, strideLabel, sc.Scheme.String(), sc.Mode.String(), *fifo, out}); err != nil {
 			fatalf("%v", err)
 		}
-	} else {
-		fmt.Printf("kernel      %s (n=%d stride=%d)\n", *kernel, *n, *stride)
+	} else if sc.Workload != nil {
+		fmt.Printf("trace       %s (%d useful words)\n", traceName, out.UsefulWords)
 		fmt.Printf("system      %v / %v", sc.Scheme, sc.Mode)
 		if sc.Mode == rdramstream.SMC {
 			fmt.Printf(" (fifo=%d policy=%v speculate=%v)", sc.FIFODepth, sc.Policy, sc.SpeculateActivate)

@@ -21,6 +21,7 @@ import (
 	"rdramstream/internal/smc"
 	"rdramstream/internal/stream"
 	"rdramstream/internal/trace"
+	"rdramstream/internal/tracegen"
 	"rdramstream/internal/version"
 	"rdramstream/internal/workload"
 )
@@ -33,6 +34,9 @@ func main() {
 	fifo := flag.Int("fifo", 16, "SMC FIFO depth")
 	scale := flag.Int("scale", 2, "cycles per timeline character")
 	traceFile := flag.String("tracefile", "", "replay a word-address trace file (lines of \"R|W <addr>\") instead of a kernel")
+	traceGen := flag.String("trace-gen", "", "replay a generated trace: a program spec (e.g. \"hot-row:n=256\") or @file for an NDJSON trace")
+	traceSeed := flag.Int64("trace-seed", 1, "trace generator seed (with -trace-gen)")
+	traceOut := flag.String("trace-out", "", "write the materialized trace as NDJSON to this file (with -trace-gen)")
 	showVersion := flag.Bool("version", false, "print the version stamp and exit")
 	flag.Parse()
 
@@ -52,7 +56,43 @@ func main() {
 	dev.Trace = rec.Hook()
 
 	var header string
-	if *traceFile != "" {
+	if *traceGen != "" {
+		spec, name, err := tracegen.SpecFromArg(*traceGen, *traceSeed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		accs, err := spec.Materialize()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := tracegen.Encode(f, name, accs); err != nil {
+				f.Close()
+				fatalf("trace out: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("trace out: %v", err)
+			}
+		}
+		reorder := false
+		switch strings.ToLower(*mode) {
+		case "smc":
+			reorder = true
+		case "natural", "cache":
+		default:
+			fatalf("unknown mode %q for trace replay (want smc or natural)", *mode)
+		}
+		if _, err := workload.ReplayTrace(dev, workload.TraceOptions{
+			Scheme: scheme, LineWords: 4, Reorder: reorder, Window: *fifo,
+		}, accs); err != nil {
+			fatalf("%v", err)
+		}
+		header = fmt.Sprintf("trace %s (%d accesses), %v, %s controller", name, len(accs), scheme, *mode)
+	} else if *traceFile != "" {
 		fh, err := os.Open(*traceFile)
 		if err != nil {
 			fatalf("%v", err)

@@ -41,6 +41,8 @@ func main() {
 	fifo := flag.Int("fifo", 32, "FIFO depth (fixed unless -var fifo)")
 	parallel := flag.Int("parallel", 0, "worker count for the sweep (0 = GOMAXPROCS, 1 = serial)")
 	faults := flag.String("faults", "", `fault-degradation sweep "seed,severity[,severity...]": every controller and scheme under deterministic fault injection (overrides -var)`)
+	traceGen := flag.String("trace-gen", "", "sweep a generated trace instead of a kernel: a program spec (e.g. \"llm-kvcache:n=16384\") or @file for an NDJSON trace")
+	traceSeed := flag.Int64("trace-seed", 1, "trace generator seed (with -trace-gen)")
 	benchOut := flag.String("bench-out", "", "time the sweep serial vs parallel and write a JSON report to this file")
 	server := flag.String("server", "", "offload scenario execution to a running rdserved at this base URL (e.g. http://localhost:8347); repeated sweeps hit its result cache")
 	showVersion := flag.Bool("version", false, "print the version stamp and exit")
@@ -77,6 +79,21 @@ func main() {
 		base.Mode = rdramstream.NaturalOrder
 	} else {
 		base.Mode = rdramstream.SMC
+	}
+	if *traceGen != "" {
+		switch strings.ToLower(*variable) {
+		case "stride", "length":
+			fmt.Fprintf(os.Stderr, "sweep: -var %s sweeps a kernel parameter; traces have no stride or length knob\n", *variable)
+			os.Exit(1)
+		}
+		spec, _, err := rdramstream.TraceSpecFromArg(*traceGen, *traceSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		// Trace replay supersedes the kernel fields entirely.
+		base.KernelName, base.N = "", 0
+		base.Workload = spec
 	}
 
 	// Build the scenario list up front (two schemes per sweep point, in

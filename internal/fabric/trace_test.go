@@ -1,0 +1,71 @@
+package fabric_test
+
+import (
+	"context"
+	"testing"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/fabric"
+	"rdramstream/internal/sim"
+	"rdramstream/internal/tracegen"
+)
+
+// traceSweep builds a sweep of trace scenarios: the same generated
+// llm-kvcache trace under both controllers and schemes, plus smaller
+// pattern variants, diverse enough to spread across the ring.
+func traceSweep(t *testing.T) []sim.Scenario {
+	t.Helper()
+	specs := []string{
+		"llm-kvcache:n=4096,ctxrows=16",
+		"hot-row:n=2048,footprint=65536",
+		"strided:n=2048,stride=16",
+	}
+	var scs []sim.Scenario
+	for _, s := range specs {
+		prog, err := tracegen.ParseProgram(s, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+			for _, mode := range []sim.Mode{sim.NaturalOrder, sim.SMC} {
+				scs = append(scs, sim.Scenario{
+					Workload: &tracegen.Spec{Program: prog},
+					Scheme:   scheme, Mode: mode, FIFODepth: 32,
+				})
+			}
+		}
+	}
+	return scs
+}
+
+// TestDistributedTraceSweepMatchesLocal is the trace subsystem's fabric
+// acceptance criterion: the same generated traces swept through a
+// 3-worker fabric must merge byte-identical to single-node execution,
+// with the content-digest keys sharding them remotely.
+func TestDistributedTraceSweepMatchesLocal(t *testing.T) {
+	f := newFleet(t, 3, nil, fabric.Config{})
+	scs := traceSweep(t)
+	got, err := f.co.RunAll(context.Background(), scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertByteIdentical(t, scs, got)
+	st := f.co.Stats()
+	if st.RemoteScenarios != int64(len(scs)) {
+		t.Fatalf("healthy fleet: want all %d trace scenarios remote, got %d (local %d)",
+			len(scs), st.RemoteScenarios, st.LocalScenarios)
+	}
+}
+
+// A mid-sweep worker kill must not change trace results either: the
+// resharded merge stays byte-identical to local execution.
+func TestTraceSweepSurvivesWorkerKill(t *testing.T) {
+	plans := []fabric.ChaosPlan{{KillAfterRows: 2, MisbehaveSweeps: 1}}
+	f := newFleet(t, 3, plans, fabric.Config{})
+	scs := traceSweep(t)
+	got, err := f.co.RunAll(context.Background(), scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertByteIdentical(t, scs, got)
+}

@@ -25,6 +25,14 @@ var corePackages = map[string]bool{
 	// worker. Wall-clock health bookkeeping lives one package up, in
 	// fabric, which is deliberately NOT core.
 	"shard": true,
+	// The trace generator: a Program must expand to the same trace on
+	// every machine, every run — its digest is a cache key and a fabric
+	// shard key. One clock read or global-rand draw would silently split
+	// the cache and break replay byte-identity.
+	"tracegen": true,
+	// The trace replay path (ReplayTrace, Replay, ParseTrace): schedules
+	// must be pure functions of the access list and options.
+	"workload": true,
 }
 
 // bannedFuncs maps fully qualified function names to the reason they are

@@ -29,6 +29,10 @@ func TestDeterminism(t *testing.T) {
 			dirs: []string{"determinism/shard"},
 		},
 		{
+			name: "trace generator is core: expansion never consults the clock, global rand, or env",
+			dirs: []string{"determinism/tracegen"},
+		},
+		{
 			name: "both together still only flag the core",
 			dirs: []string{"determinism", "determinism/clock"},
 		},

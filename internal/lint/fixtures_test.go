@@ -24,6 +24,7 @@ var fixtureDirs = []string{
 	"determinism/obs",
 	"determinism/shard",
 	"determinism/smc",
+	"determinism/tracegen",
 	"maprange",
 	"stallcause",
 	"nilprobe",

@@ -1,0 +1,44 @@
+// Package tracegen is a lint fixture: it borrows the trace generator's
+// package name — simulation-core rules apply, because a Program must
+// expand to the same access list on every machine, every run. The
+// expansion's SHA-256 digest is simultaneously a result-cache key and a
+// fabric shard key, so one clock read, one draw from the shared global
+// generator, or one env-dependent default silently splits the cache and
+// breaks the POSTed-trace-equals-local-replay byte-identity claim.
+package tracegen
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Expand is the required idiom: an explicitly seeded generator, every
+// draw a pure function of the program seed. Nothing here is flagged.
+func Expand(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = rng.Int63n(1 << 20)
+	}
+	return out
+}
+
+// SaltedSeed perturbs the program seed with the wall clock, so the same
+// program expands to a different trace every run — the digest no longer
+// names the content.
+func SaltedSeed(seed int64) int64 {
+	return seed ^ time.Now().UnixNano() // want "time.Now in simulation core"
+}
+
+// JitteredRow draws a hot row from the shared global generator, making
+// the expansion seed-independent.
+func JitteredRow(ctx int64) int64 {
+	return rand.Int63n(ctx) // want "global math/rand.Int63n"
+}
+
+// DefaultFootprint sizes the address footprint from the environment,
+// which makes the generated trace — and its cache key — host-dependent.
+func DefaultFootprint() string {
+	return os.Getenv("TRACE_FOOTPRINT") // want "os.Getenv in simulation core"
+}

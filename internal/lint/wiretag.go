@@ -44,6 +44,16 @@ var wireRoots = []struct{ pkg, typ string }{
 	{"resultcache", "diskEntry"},
 	{"resultcache", "Stats"},
 	{"telemetry", "Report"},
+	// The trace subsystem: the NDJSON stream format (Header/Line), the
+	// ingestion envelope (TraceHeader), and the generator spec that rides
+	// inside scenario JSON and the content-addressed cache key.
+	{"tracegen", "Header"},
+	{"tracegen", "Line"},
+	{"tracegen", "Spec"},
+	{"tracegen", "Program"},
+	{"tracegen", "Phase"},
+	{"service", "TraceHeader"},
+	{"workload", "TraceAccess"},
 }
 
 // typeDecl records what the analyzer needs from a named type's

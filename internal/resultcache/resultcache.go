@@ -218,6 +218,11 @@ func Key(sc sim.Scenario) (string, error) {
 		fmt.Sprintf("skipVerify=%v", canon.SkipVerify),
 		fmt.Sprintf("speculate=%v", canon.SpeculateActivate),
 		fmt.Sprintf("stride=%d", canon.Stride),
+		// Canonical trace specs carry only the materialized trace's
+		// content digest (and the pipeline depth), so this field is a
+		// fixed-size string however large the trace is — and a program
+		// keys identically to the access list it expands to.
+		fmt.Sprintf("trace=%+v", canon.Workload),
 		fmt.Sprintf("version=%s", version.Stamp()),
 		fmt.Sprintf("watchdog=%d", canon.WatchdogLimit),
 		fmt.Sprintf("writeAllocate=%v", canon.WriteAllocate),

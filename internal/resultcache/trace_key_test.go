@@ -1,0 +1,61 @@
+package resultcache
+
+import (
+	"testing"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/sim"
+	"rdramstream/internal/tracegen"
+)
+
+// A generator program and the trace it expands to are the same cache
+// entry; a different trace, or the same trace under a different replay
+// depth, is not.
+func TestKeyTraceContentAddressing(t *testing.T) {
+	prog, err := tracegen.ParseProgram("llm-kvcache:n=2048,ctxrows=8", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs, err := prog.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.Scenario{Scheme: addrmap.PI, Mode: sim.SMC, FIFODepth: 32}
+	byProg := base
+	byProg.Workload = &tracegen.Spec{Program: prog}
+	byAccs := base
+	byAccs.Workload = &tracegen.Spec{Accesses: accs}
+
+	k1, err := Key(byProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Key(byAccs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("program key %s != materialized key %s", k1, k2)
+	}
+
+	kernel := sim.Scenario{KernelName: "daxpy", N: 256, Scheme: addrmap.PI, Mode: sim.SMC}
+	k3, err := Key(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Error("kernel scenario collides with a trace scenario")
+	}
+
+	deeper := byProg
+	spec := *byProg.Workload
+	spec.Outstanding = 1
+	deeper.Workload = &spec
+	k4, err := Key(deeper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4 == k1 {
+		t.Error("replay depth does not split the key")
+	}
+}

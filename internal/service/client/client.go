@@ -19,6 +19,8 @@ import (
 
 	"rdramstream/internal/service"
 	"rdramstream/internal/sim"
+	"rdramstream/internal/tracegen"
+	"rdramstream/internal/workload"
 )
 
 // StatusError is the typed error for every non-2xx server response: it
@@ -140,6 +142,56 @@ func (c *Client) Simulate(ctx context.Context, sc sim.Scenario) (service.Simulat
 	defer cancel()
 	var out service.SimulateResponse
 	resp, err := c.post(ctx, "/v1/simulate", sc)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, apiError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return out, nil
+}
+
+// Trace posts an NDJSON trace body (POST /v1/trace): a header carrying
+// the scenario, then one line per access. The server replays the trace
+// under the scenario and answers like Simulate — the cache key is the
+// trace's content digest, so posting the same trace twice is a hit.
+// The scenario's Workload must not carry an inline program or access
+// list (it may set Outstanding).
+func (c *Client) Trace(ctx context.Context, sc sim.Scenario, name string, accs []workload.TraceAccess) (service.SimulateResponse, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
+	var out service.SimulateResponse
+	var body bytes.Buffer
+	hdr, err := json.Marshal(service.TraceHeader{
+		Format: tracegen.FormatV1, Name: name, Accesses: len(accs), Scenario: sc,
+	})
+	if err != nil {
+		return out, fmt.Errorf("client: encoding trace header: %w", err)
+	}
+	body.Write(hdr)
+	body.WriteByte('\n')
+	for _, a := range accs {
+		op := "R"
+		if a.Write {
+			op = "W"
+		}
+		ln, err := json.Marshal(tracegen.Line{Op: op, Addr: a.Addr})
+		if err != nil {
+			return out, fmt.Errorf("client: encoding trace line: %w", err)
+		}
+		body.Write(ln)
+		body.WriteByte('\n')
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/trace", bytes.NewReader(body.Bytes()))
+	if err != nil {
+		return out, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.http().Do(req)
 	if err != nil {
 		return out, err
 	}

@@ -95,6 +95,9 @@ type HandlerOptions struct {
 //
 //	POST /v1/simulate      one scenario, synchronous JSON response
 //	POST /v1/sweep         scenario list, NDJSON stream in input order
+//	POST /v1/trace         NDJSON trace (header + access lines), replayed
+//	                       under the header's scenario; response matches
+//	                       /v1/simulate
 //	GET  /v1/jobs/{id}     job status snapshot
 //	GET  /v1/requests/{id} one request trace (spans, status, counts)
 //	GET  /debug/requests   recent traces (?format=json|jsonl|chrome)
@@ -115,6 +118,7 @@ func NewHandlerWith(s *Service, opt HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
 	mux.HandleFunc("GET /v1/requests/{id}", s.handleRequest)
@@ -139,6 +143,8 @@ func routeLabel(r *http.Request) string {
 		return "POST /v1/simulate"
 	case r.Method == http.MethodPost && r.URL.Path == "/v1/sweep":
 		return "POST /v1/sweep"
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/trace":
+		return "POST /v1/trace"
 	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
 		return "GET /v1/jobs/{id}"
 	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/requests/"):

@@ -21,11 +21,13 @@ import (
 	"rdramstream/internal/smc"
 	"rdramstream/internal/stream"
 	"rdramstream/internal/telemetry"
+	"rdramstream/internal/tracegen"
 
-	// Imported for their engine.Register calls: every controller the
-	// Scenario API can name must be linked in.
+	// Imported for its engine.Register call: every controller the
+	// Scenario API can name must be linked in. The workload package
+	// (controller "conventional" plus the trace replay path) is imported
+	// non-blank by trace.go.
 	_ "rdramstream/internal/natorder"
-	_ "rdramstream/internal/workload"
 )
 
 // Mode selects the memory controller under test.
@@ -98,6 +100,19 @@ type Scenario struct {
 	// SkipVerify disables the post-run functional check (for benchmarks).
 	SkipVerify bool `json:"SkipVerify"`
 
+	// Workload, when non-nil, replaces the benchmark kernel with an
+	// externally described access trace (see internal/tracegen): either
+	// a deterministic generator program or an explicit access list. The
+	// kernel fields (KernelName, N, Stride, Placement) do not apply —
+	// KernelName must be empty — and the controller must be
+	// "natural-order" (trace-order replay) or "smc" (row-hit-first
+	// reordering over a FIFODepth-deep window). Trace runs are
+	// timing-only: there is no golden image, so Verified reports that
+	// the replay completed. Canonical reduces the spec to the trace's
+	// content digest, which is what makes identical traces — however
+	// they were spelled — one result-cache entry and one fabric shard.
+	Workload *tracegen.Spec `json:"Workload,omitempty"`
+
 	// Telemetry, when non-nil, instruments the run: per-bank device
 	// counters, per-window bus occupancy and bandwidth, stall-cause
 	// attribution of every idle DATA-bus cycle, FIFO depth/starvation
@@ -143,6 +158,8 @@ var (
 	ErrBadLineWords      = errors.New("sim: bad LineWords")
 	ErrBadFIFODepth      = errors.New("sim: bad FIFODepth")
 	ErrBadWatchdog       = errors.New("sim: WatchdogLimit must be non-negative")
+	ErrTraceScenario     = errors.New("sim: invalid trace scenario")
+	ErrTraceController   = errors.New("sim: unsupported trace controller")
 )
 
 // Validate checks the scenario (after default filling) and returns a typed
@@ -150,14 +167,30 @@ var (
 // validate, so out-of-range inputs fail at the API boundary.
 func (sc Scenario) Validate() error {
 	sc = sc.withDefaults()
-	if _, ok := stream.FactoryByName(sc.KernelName); !ok {
-		return fmt.Errorf("%w %q (have copy, daxpy, hydro, vaxpy)", ErrUnknownKernel, sc.KernelName)
-	}
-	if sc.N <= 0 {
-		return fmt.Errorf("%w, got %d", ErrBadLength, sc.N)
-	}
-	if sc.Stride <= 0 {
-		return fmt.Errorf("%w, got %d", ErrBadStride, sc.Stride)
+	if sc.Workload != nil {
+		if sc.KernelName != "" {
+			return fmt.Errorf("%w: KernelName %q and Workload are mutually exclusive", ErrTraceScenario, sc.KernelName)
+		}
+		if err := sc.Workload.Validate(); err != nil {
+			return fmt.Errorf("%w: %w", ErrTraceScenario, err)
+		}
+		name, err := sc.controllerName()
+		if err != nil {
+			return err
+		}
+		if name != "natural-order" && name != "smc" {
+			return fmt.Errorf("%w %q (trace replay supports natural-order and smc)", ErrTraceController, name)
+		}
+	} else {
+		if _, ok := stream.FactoryByName(sc.KernelName); !ok {
+			return fmt.Errorf("%w %q (have copy, daxpy, hydro, vaxpy)", ErrUnknownKernel, sc.KernelName)
+		}
+		if sc.N <= 0 {
+			return fmt.Errorf("%w, got %d", ErrBadLength, sc.N)
+		}
+		if sc.Stride <= 0 {
+			return fmt.Errorf("%w, got %d", ErrBadStride, sc.Stride)
+		}
 	}
 	if err := sc.Scheme.Validate(); err != nil {
 		return err
@@ -219,6 +252,26 @@ func (sc Scenario) Canonical() (Scenario, error) {
 		c := *sc.Cache
 		sc.Cache = &c
 	}
+	if sc.Workload != nil {
+		// A trace scenario's outcome is a function of the materialized
+		// trace, not of how it was described: reduce the spec to its
+		// content digest and zero every kernel-only field the replay
+		// ignores, so a generator program, the trace it expands to, and a
+		// wire-posted copy all share one key.
+		w, err := sc.Workload.Canonical()
+		if err != nil {
+			return Scenario{}, err
+		}
+		sc.Workload = &w
+		sc.KernelName, sc.N, sc.Stride = "", 0, 0
+		sc.Placement = 0
+		sc.Policy = 0
+		sc.SpeculateActivate, sc.WriteAllocate = false, false
+		sc.Cache = nil
+		sc.SkipVerify = false
+		sc.WatchdogLimit = 0
+		sc.Seed = 0
+	}
 	sc.Telemetry = nil
 	sc.Trace = nil
 	return sc, nil
@@ -231,7 +284,14 @@ func (sc Scenario) Label() string {
 	if err != nil {
 		name = "?"
 	}
-	return fmt.Sprintf("%s/%s/%s", sc.KernelName, sc.Scheme, name)
+	kernel := sc.KernelName
+	if sc.Workload != nil {
+		kernel = "trace"
+		if p := sc.Workload.Program; p != nil && p.Name != "" {
+			kernel = "trace:" + p.Name
+		}
+	}
+	return fmt.Sprintf("%s/%s/%s", kernel, sc.Scheme, name)
 }
 
 // Outcome reports a simulation's results: the controller's common outcome
@@ -266,6 +326,9 @@ func (sc Scenario) controllerName() (string, error) {
 // BuildKernel lays out and constructs a benchmark kernel for a scenario.
 func BuildKernel(sc Scenario) (*stream.Kernel, error) {
 	sc = sc.withDefaults()
+	if sc.Workload != nil {
+		return nil, fmt.Errorf("%w: trace scenarios have no benchmark kernel", ErrTraceScenario)
+	}
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -277,9 +340,13 @@ func BuildKernel(sc Scenario) (*stream.Kernel, error) {
 	return f.Make(bases, sc.N, sc.Stride), nil
 }
 
-// Run executes the scenario with one of the built-in benchmark kernels.
+// Run executes the scenario: a benchmark kernel, or — when Workload is
+// set — a trace replay (see runTrace).
 func Run(sc Scenario) (Outcome, error) {
 	sc = sc.withDefaults()
+	if sc.Workload != nil {
+		return runTrace(sc)
+	}
 	k, err := BuildKernel(sc)
 	if err != nil {
 		return Outcome{}, err

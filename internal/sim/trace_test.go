@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/tracegen"
+	"rdramstream/internal/workload"
+)
+
+func kvProgram(t *testing.T) *tracegen.Program {
+	t.Helper()
+	p, err := tracegen.ParseProgram("llm-kvcache:n=4096,ctxrows=16", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTraceScenarioRuns(t *testing.T) {
+	sc := Scenario{
+		Workload: &tracegen.Spec{Program: kvProgram(t)},
+		Scheme:   addrmap.PI, Mode: SMC, FIFODepth: 32,
+	}
+	out, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Verified {
+		t.Error("trace run not verified")
+	}
+	if out.Cycles <= 0 || out.UsefulWords != 4096 {
+		t.Errorf("outcome = %+v", out.Result)
+	}
+	// Identical scenario, identical outcome — trace runs are pure.
+	again, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(out)
+	b, _ := json.Marshal(again)
+	if string(a) != string(b) {
+		t.Error("two runs of the same trace scenario diverge")
+	}
+}
+
+// A program scenario and a scenario carrying the program's materialized
+// accesses must produce identical outcomes — the service's POST /v1/trace
+// path relies on it.
+func TestTraceProgramMatchesMaterialized(t *testing.T) {
+	prog := kvProgram(t)
+	accs, err := prog.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Scenario{Scheme: addrmap.PI, Mode: SMC, FIFODepth: 32}
+	byProg := base
+	byProg.Workload = &tracegen.Spec{Program: prog}
+	byAccs := base
+	byAccs.Workload = &tracegen.Spec{Accesses: accs}
+	o1, err := Run(byProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Run(byAccs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(o1)
+	b, _ := json.Marshal(o2)
+	if string(a) != string(b) {
+		t.Errorf("program and materialized outcomes diverge:\n  %s\n  %s", a, b)
+	}
+}
+
+func TestTraceControllersDiffer(t *testing.T) {
+	// The llm-kvcache trace is the headline: SMC reordering must beat
+	// natural order under PI, visibly.
+	spec := &tracegen.Spec{Program: kvProgram(t)}
+	nat, err := Run(Scenario{Workload: spec, Scheme: addrmap.PI, Mode: NaturalOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smc, err := Run(Scenario{Workload: spec, Scheme: addrmap.PI, Mode: SMC, FIFODepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smc.PercentPeak <= nat.PercentPeak {
+		t.Errorf("SMC %.1f%% does not beat natural %.1f%% on the KV-cache trace", smc.PercentPeak, nat.PercentPeak)
+	}
+}
+
+func TestTraceScenarioValidate(t *testing.T) {
+	spec := &tracegen.Spec{Program: kvProgram(t)}
+	mutex := Scenario{KernelName: "daxpy", N: 64, Workload: spec, Mode: SMC}
+	if err := mutex.Validate(); !errors.Is(err, ErrTraceScenario) {
+		t.Errorf("kernel+workload Validate = %v, want ErrTraceScenario", err)
+	}
+	badSpec := Scenario{Workload: &tracegen.Spec{}, Mode: SMC}
+	if err := badSpec.Validate(); !errors.Is(err, ErrTraceScenario) {
+		t.Errorf("empty spec Validate = %v, want ErrTraceScenario", err)
+	}
+	conv := Scenario{Workload: spec, Controller: "conventional"}
+	if err := conv.Validate(); !errors.Is(err, ErrTraceController) {
+		t.Errorf("conventional Validate = %v, want ErrTraceController", err)
+	}
+	if _, err := Run(mutex); err == nil {
+		t.Error("Run accepted a kernel+workload scenario")
+	}
+}
+
+// Canonicalization collapses a program and its expansion to the same
+// digest-only spec and scrubs every kernel-only field, so the result
+// cache and the fabric's sharding treat them as one scenario.
+func TestTraceCanonicalCollapses(t *testing.T) {
+	prog := kvProgram(t)
+	accs, err := prog.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Scenario{Scheme: addrmap.PI, Mode: SMC, FIFODepth: 32}
+	byProg := base
+	byProg.Workload = &tracegen.Spec{Program: prog}
+	byProg.Seed = 99 // kernel-only; must not split the cache key
+	byAccs := base
+	byAccs.Workload = &tracegen.Spec{Accesses: accs}
+	c1, err := byProg.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := byAccs.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Errorf("canonical forms differ:\n  %+v\n  %+v", c1, c2)
+	}
+	if c1.Workload == nil || c1.Workload.Digest == "" || c1.Workload.Program != nil || c1.Workload.Accesses != nil {
+		t.Errorf("canonical workload not digest-only: %+v", c1.Workload)
+	}
+	if c1.KernelName != "" || c1.N != 0 || c1.Seed != 0 {
+		t.Errorf("canonical trace scenario keeps kernel fields: %+v", c1)
+	}
+	// A different trace keeps a different key.
+	other := base
+	otherProg, err := tracegen.ParseProgram("strided:n=4096", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Workload = &tracegen.Spec{Program: otherProg}
+	c3, err := other.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Workload.Digest == c1.Workload.Digest {
+		t.Error("different traces canonicalized to the same digest")
+	}
+}
+
+func TestTraceLabel(t *testing.T) {
+	sc := Scenario{Workload: &tracegen.Spec{Program: kvProgram(t)}, Mode: SMC}
+	if got := sc.Label(); got == "" || got == sc.Mode.String() {
+		t.Errorf("label = %q", got)
+	}
+	var buf []workload.TraceAccess
+	buf = append(buf, workload.TraceAccess{Addr: 0})
+	anon := Scenario{Workload: &tracegen.Spec{Accesses: buf}, Mode: SMC}
+	if got := anon.Label(); got == "" {
+		t.Error("anonymous trace scenario has no label")
+	}
+}

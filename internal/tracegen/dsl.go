@@ -1,0 +1,114 @@
+package tracegen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseProgram parses the one-line program DSL the CLIs expose as
+// -trace-gen:
+//
+//	program := phase (';' phase)*
+//	phase   := pattern [':' key '=' value (',' key '=' value)*]
+//
+// Patterns are the Phase.Pattern names; keys are short spellings of the
+// phase parameters (n, start, footprint, stride, burst, write,
+// locality, hotrows, rowwords, heads, ctxrows, rowreads). seed applies
+// to the whole program and may appear in any phase (last one wins);
+// the seed argument is the default when the DSL names none. Example:
+//
+//	strided:n=8192,stride=16;llm-kvcache:n=16384,heads=4
+func ParseProgram(spec string, seed int64) (*Program, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("tracegen: empty program spec")
+	}
+	p := &Program{Name: spec, Seed: seed}
+	for i, seg := range strings.Split(spec, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			return nil, fmt.Errorf("tracegen: phase %d is empty", i)
+		}
+		pattern, kvs, hasParams := strings.Cut(seg, ":")
+		ph := Phase{Pattern: strings.TrimSpace(pattern)}
+		if hasParams && strings.TrimSpace(kvs) == "" {
+			return nil, fmt.Errorf("tracegen: phase %d: empty parameter list after %q", i, pattern+":")
+		}
+		if kvs != "" {
+			for _, kv := range strings.Split(kvs, ",") {
+				key, val, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("tracegen: phase %d: want key=value, got %q", i, kv)
+				}
+				key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+				if err := setKey(p, &ph, key, val); err != nil {
+					return nil, fmt.Errorf("tracegen: phase %d: %w", i, err)
+				}
+			}
+		}
+		p.Phases = append(p.Phases, ph)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// setKey applies one key=value of the DSL to its phase (or, for seed,
+// the program).
+func setKey(p *Program, ph *Phase, key, val string) error {
+	parseInt := func() (int, error) {
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return 0, fmt.Errorf("key %s: bad integer %q", key, val)
+		}
+		return v, nil
+	}
+	parseI64 := func() (int64, error) {
+		v, err := strconv.ParseInt(val, 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("key %s: bad integer %q", key, val)
+		}
+		return v, nil
+	}
+	parseFloat := func() (float64, error) {
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return 0, fmt.Errorf("key %s: bad number %q", key, val)
+		}
+		return v, nil
+	}
+	var err error
+	switch key {
+	case "seed":
+		p.Seed, err = parseI64()
+	case "n":
+		ph.Accesses, err = parseInt()
+	case "start":
+		ph.Start, err = parseI64()
+	case "footprint":
+		ph.FootprintWords, err = parseI64()
+	case "stride":
+		ph.StrideWords, err = parseI64()
+	case "burst":
+		ph.BurstWords, err = parseInt()
+	case "write":
+		ph.WriteFraction, err = parseFloat()
+	case "locality":
+		ph.BankLocality, err = parseFloat()
+	case "hotrows":
+		ph.HotRows, err = parseInt()
+	case "rowwords":
+		ph.RowWords, err = parseInt()
+	case "heads":
+		ph.Heads, err = parseInt()
+	case "ctxrows":
+		ph.ContextRows, err = parseInt()
+	case "rowreads":
+		ph.RowsPerStep, err = parseInt()
+	default:
+		return fmt.Errorf("unknown key %q (have seed, n, start, footprint, stride, burst, write, locality, hotrows, rowwords, heads, ctxrows, rowreads)", key)
+	}
+	return err
+}

@@ -1,0 +1,35 @@
+package tracegen
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// SpecFromArg resolves a CLI -trace-gen argument into a Spec: "@path"
+// loads an NDJSON trace file (FormatV1), anything else parses as the
+// program DSL with the given default seed. The second return is the
+// trace's display name (the file header's name, or the DSL text).
+func SpecFromArg(arg string, seed int64) (*Spec, string, error) {
+	if path, ok := strings.CutPrefix(arg, "@"); ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, "", fmt.Errorf("tracegen: %w", err)
+		}
+		defer f.Close()
+		h, accs, err := Decode(f)
+		if err != nil {
+			return nil, "", fmt.Errorf("tracegen: trace file %s: %w", path, err)
+		}
+		name := h.Name
+		if name == "" {
+			name = path
+		}
+		return &Spec{Accesses: accs}, name, nil
+	}
+	prog, err := ParseProgram(arg, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	return &Spec{Program: prog}, prog.Name, nil
+}

@@ -1,0 +1,123 @@
+package tracegen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rdramstream/internal/workload"
+)
+
+// writeTempTrace encodes accs as an NDJSON trace file under t.TempDir.
+func writeTempTrace(t *testing.T, name string, accs []workload.TraceAccess) (string, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := Encode(f, name, accs); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	accs := []workload.TraceAccess{
+		{Addr: 0}, {Addr: 16, Write: true}, {Addr: 1 << 40},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, "rt", accs); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Format != FormatV1 || h.Name != "rt" || h.Accesses != 3 {
+		t.Errorf("header = %+v", h)
+	}
+	if !reflect.DeepEqual(got, accs) {
+		t.Errorf("round trip = %+v, want %+v", got, accs)
+	}
+}
+
+func TestWireErrors(t *testing.T) {
+	hdr := `{"format":"rdtrace/v1","accesses":2}`
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"empty body", "", "empty trace body"},
+		{"bad header json", "{", "line 1"},
+		{"unknown header field", `{"format":"rdtrace/v1","accesses":1,"zap":1}` + "\n" + `{"op":"R","addr":0}`, "zap"},
+		{"wrong format", `{"format":"rdtrace/v9","accesses":1}` + "\n" + `{"op":"R","addr":0}`, "unknown trace format"},
+		{"zero accesses", `{"format":"rdtrace/v1","accesses":0}`, "declares 0"},
+		{"too many accesses", `{"format":"rdtrace/v1","accesses":99999999}`, "declares 99999999"},
+		{"truncated", hdr + "\n" + `{"op":"R","addr":0}`, "truncated"},
+		{"bad access json", hdr + "\n" + `{"op":"R","addr":0}` + "\nnope", "line 3"},
+		{"unknown op", hdr + "\n" + `{"op":"Q","addr":0}`, `unknown op "Q"`},
+		{"negative addr", hdr + "\n" + `{"op":"R","addr":-4}`, "negative address"},
+		{"trailing token on line", hdr + "\n" + `{"op":"R","addr":0} {"x":1}`, "trailing data"},
+		{"trailing garbage after count", hdr + "\n" + `{"op":"R","addr":0}` + "\n" + `{"op":"R","addr":4}` + "\n" + `{"op":"R","addr":8}`, "trailing garbage"},
+	}
+	for _, c := range cases {
+		_, _, err := Decode(strings.NewReader(c.body))
+		if err == nil {
+			t.Errorf("%s: decoded without error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// Errors must carry the offending line number so a multi-megabyte POST
+// is debuggable.
+func TestWireErrorsNameTheLine(t *testing.T) {
+	body := `{"format":"rdtrace/v1","accesses":3}
+{"op":"R","addr":0}
+{"op":"R","addr":4}
+{"op":"X","addr":8}`
+	_, _, err := Decode(strings.NewReader(body))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error %v does not name line 4", err)
+	}
+}
+
+func TestSpecFromArg(t *testing.T) {
+	spec, name, err := SpecFromArg("strided:n=32", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Program == nil || spec.Program.Seed != 9 || name != "strided:n=32" {
+		t.Errorf("spec = %+v, name = %q", spec, name)
+	}
+
+	prog := mustProgram(t, "chase:n=16,footprint=4096", 2)
+	accs, err := prog.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := writeTempTrace(t, prog.Name, accs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileSpec, fileName, err := SpecFromArg("@"+f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fileName != prog.Name {
+		t.Errorf("file spec name = %q, want %q", fileName, prog.Name)
+	}
+	if !reflect.DeepEqual(fileSpec.Accesses, accs) {
+		t.Error("file spec accesses differ from the encoded trace")
+	}
+	if _, _, err := SpecFromArg("@/nonexistent/trace.ndjson", 0); err == nil {
+		t.Error("expected error for a missing trace file")
+	}
+}

@@ -13,17 +13,27 @@ import (
 )
 
 // TraceAccess is one request of an externally supplied address trace.
+// The json tags pin its spelling inside scenario JSON (tracegen.Spec
+// carries a []TraceAccess on the wire).
+//
+// rdlint:wire — trace accesses ride inside scenario JSON.
 type TraceAccess struct {
-	Addr  int64 // 64-bit-word address
-	Write bool
+	// Addr is the 64-bit-word address.
+	Addr int64 `json:"addr"`
+	// Write marks a store; the zero value is a load.
+	Write bool `json:"write,omitempty"`
 }
 
 // ParseTrace reads a text trace: one access per line, "R <addr>" or
 // "W <addr>" with the address in decimal or 0x-hex. Blank lines and lines
-// starting with '#' are skipped.
+// starting with '#' are skipped. Every malformed line — wrong field
+// count, unknown op, bad address, or an overlong line the scanner cannot
+// tokenize — fails with its line number; anything trailing a well-formed
+// access on the same line is garbage, not ignored.
 func ParseTrace(r io.Reader) ([]TraceAccess, error) {
 	var out []TraceAccess
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -50,7 +60,7 @@ func ParseTrace(r io.Reader) ([]TraceAccess, error) {
 		out = append(out, TraceAccess{Addr: addr, Write: write})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("workload: trace line %d: %w", line+1, err)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("workload: empty trace")

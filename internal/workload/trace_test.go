@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rdramstream/internal/addrmap"
+	"rdramstream/internal/rdram"
+)
+
+// scatteredTrace builds a trace that ping-pongs between rows — the
+// worst case for in-order open-page service and the best case for
+// row-hit-first reordering.
+func scatteredTrace(n int) []TraceAccess {
+	rng := rand.New(rand.NewSource(11))
+	accs := make([]TraceAccess, 0, n)
+	for i := 0; i < n; i++ {
+		row := rng.Int63n(64)
+		accs = append(accs, TraceAccess{Addr: row*128 + rng.Int63n(32)*4, Write: rng.Float64() < 0.2})
+	}
+	return accs
+}
+
+// With Reorder off, ReplayTrace must be cycle-identical to the legacy
+// Replay path: same coalescing, same issue discipline, same schedule.
+func TestReplayTraceMatchesReplay(t *testing.T) {
+	for _, scheme := range []addrmap.Scheme{addrmap.CLI, addrmap.PI} {
+		accs := scatteredTrace(2048)
+		d1 := rdram.NewDevice(rdram.DefaultConfig())
+		legacy, err := Replay(d1, Config{Scheme: scheme, LineWords: 4}, accs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2 := rdram.NewDevice(rdram.DefaultConfig())
+		got, err := ReplayTrace(d2, TraceOptions{Scheme: scheme, LineWords: 4}, accs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cycles != legacy.Cycles {
+			t.Errorf("%v: ReplayTrace %d cycles, Replay %d", scheme, got.Cycles, legacy.Cycles)
+		}
+		if got.Device != legacy.Device {
+			t.Errorf("%v: device stats diverge:\n  trace  %+v\n  legacy %+v", scheme, got.Device, legacy.Device)
+		}
+	}
+}
+
+// Reordering moves the same data — identical transferred words and
+// device read/write packet counts — and must not be slower than trace
+// order on a row-scattered open-page workload (that is its only job).
+func TestReplayTraceReorder(t *testing.T) {
+	accs := scatteredTrace(4096)
+	d1 := rdram.NewDevice(rdram.DefaultConfig())
+	natural, err := ReplayTrace(d1, TraceOptions{Scheme: addrmap.PI, LineWords: 4}, accs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := rdram.NewDevice(rdram.DefaultConfig())
+	reordered, err := ReplayTrace(d2, TraceOptions{Scheme: addrmap.PI, LineWords: 4, Reorder: true, Window: 32}, accs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if natural.TransferredWords != reordered.TransferredWords {
+		t.Errorf("transferred words diverge: natural %d, reordered %d", natural.TransferredWords, reordered.TransferredWords)
+	}
+	if natural.Device.Reads != reordered.Device.Reads || natural.Device.Writes != reordered.Device.Writes {
+		t.Errorf("packet counts diverge: natural %+v, reordered %+v", natural.Device, reordered.Device)
+	}
+	if reordered.Cycles > natural.Cycles {
+		t.Errorf("reordering slowed the replay: %d > %d cycles", reordered.Cycles, natural.Cycles)
+	}
+	if reordered.Device.PageHits <= natural.Device.PageHits {
+		t.Errorf("reordering found no extra page hits: %d vs %d", reordered.Device.PageHits, natural.Device.PageHits)
+	}
+}
+
+// Under CLI auto-precharge there are no open rows to chase: the
+// reordering scheduler must degenerate to exact trace order.
+func TestReplayTraceReorderDegeneratesUnderCLI(t *testing.T) {
+	accs := scatteredTrace(1024)
+	d1 := rdram.NewDevice(rdram.DefaultConfig())
+	natural, err := ReplayTrace(d1, TraceOptions{Scheme: addrmap.CLI, LineWords: 4}, accs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := rdram.NewDevice(rdram.DefaultConfig())
+	reordered, err := ReplayTrace(d2, TraceOptions{Scheme: addrmap.CLI, LineWords: 4, Reorder: true}, accs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if natural.Cycles != reordered.Cycles || natural.Device != reordered.Device {
+		t.Errorf("CLI reorder diverged from trace order: %d vs %d cycles", reordered.Cycles, natural.Cycles)
+	}
+}
+
+func TestReplayTraceValidation(t *testing.T) {
+	dev := rdram.NewDevice(rdram.DefaultConfig())
+	if _, err := ReplayTrace(dev, TraceOptions{Scheme: addrmap.PI, LineWords: 4}, nil); err == nil {
+		t.Error("expected error for empty trace")
+	}
+	if _, err := ReplayTrace(dev, TraceOptions{Scheme: addrmap.PI, LineWords: 3}, []TraceAccess{{Addr: 0}}); err == nil {
+		t.Error("expected error for bad line size")
+	}
+	if _, err := ReplayTrace(dev, TraceOptions{Scheme: addrmap.PI, LineWords: 4, Outstanding: rdram.MaxOutstanding + 1}, []TraceAccess{{Addr: 0}}); err == nil {
+		t.Error("expected error for oversized pipeline depth")
+	}
+	if _, err := ReplayTrace(dev, TraceOptions{Scheme: addrmap.PI, LineWords: 4}, []TraceAccess{{Addr: 1 << 60}}); err == nil {
+		t.Error("expected error for out-of-range address")
+	}
+}
+
+// Malformed trace files must fail with their line number.
+func TestParseTraceLineNumbers(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"R 0\nW 4\nX 8\n", "line 3"},
+		{"R 0\nR zap\n", "line 2"},
+		{"R 0\nR 4 trailing\n", "line 2"},
+		{"# header\n\nR 0\nW\n", "line 4"},
+	}
+	for _, c := range cases {
+		_, err := ParseTrace(strings.NewReader(c.in))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseTrace(%q) error %v, want mention of %s", c.in, err, c.want)
+		}
+	}
+}
+
+// FuzzParseTrace drives the text-trace parser with arbitrary input: it
+// must never panic, and anything it accepts must obey the documented
+// invariants (non-empty, non-negative addresses).
+func FuzzParseTrace(f *testing.F) {
+	f.Add("R 0\nW 0x10\nR 1024\n")
+	f.Add("# comment\n\nR 5\n")
+	f.Add("R 1 2 3\n")
+	f.Add("W -5\n")
+	f.Add("R " + strings.Repeat("9", 400) + "\n")
+	f.Add(strings.Repeat("x", 200000))
+	f.Fuzz(func(t *testing.T, in string) {
+		accs, err := ParseTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(accs) == 0 {
+			t.Error("accepted a trace with no accesses")
+		}
+		for i, a := range accs {
+			if a.Addr < 0 {
+				t.Errorf("access %d has negative address %d", i, a.Addr)
+			}
+		}
+	})
+}

@@ -35,6 +35,7 @@ package rdramstream
 
 import (
 	"context"
+	"io"
 
 	"rdramstream/internal/addrmap"
 	"rdramstream/internal/analytic"
@@ -47,7 +48,9 @@ import (
 	"rdramstream/internal/stream"
 	"rdramstream/internal/telemetry"
 	"rdramstream/internal/trace"
+	"rdramstream/internal/tracegen"
 	"rdramstream/internal/version"
+	"rdramstream/internal/workload"
 )
 
 // Core workload types, re-exported from the implementation packages so
@@ -243,6 +246,49 @@ type (
 // NewTelemetry builds a telemetry collector; the zero Options give
 // 256-cycle windows with event capture off.
 func NewTelemetry(o TelemetryOptions) *Telemetry { return telemetry.New(o) }
+
+// Trace-driven workloads (internal/tracegen): a deterministic,
+// seed-driven generator DSL plus an NDJSON trace wire format. Attach a
+// TraceSpec via Scenario.Workload to replay a trace instead of a
+// benchmark kernel; see docs/WORKLOADS.md for the DSL grammar, the wire
+// format, and the cache-key semantics.
+type (
+	// TraceProgram is a seeded sequence of generator phases.
+	TraceProgram = tracegen.Program
+	// TracePhase is one pattern instance of a TraceProgram.
+	TracePhase = tracegen.Phase
+	// TraceSpec names a trace workload: a generator program or an
+	// explicit access list (Scenario.Workload).
+	TraceSpec = tracegen.Spec
+	// TraceAccess is one word-level request of an address trace.
+	TraceAccess = workload.TraceAccess
+)
+
+// ParseTraceProgram parses the one-line trace-generator DSL
+// ("pattern:key=val,...;pattern2:..." — see docs/WORKLOADS.md).
+func ParseTraceProgram(spec string, seed int64) (*TraceProgram, error) {
+	return tracegen.ParseProgram(spec, seed)
+}
+
+// TraceSpecFromArg resolves a CLI -trace-gen argument: "@path" loads an
+// NDJSON trace file, anything else parses as the program DSL. The
+// second return is the trace's display name.
+func TraceSpecFromArg(arg string, seed int64) (*TraceSpec, string, error) {
+	return tracegen.SpecFromArg(arg, seed)
+}
+
+// EncodeTrace writes a trace in the NDJSON wire format (header line +
+// access lines); the encoding is byte-deterministic.
+func EncodeTrace(w io.Writer, name string, accs []TraceAccess) error {
+	return tracegen.Encode(w, name, accs)
+}
+
+// DecodeTrace reads a complete NDJSON trace, rejecting malformed lines
+// (with line numbers), count mismatches, and trailing garbage.
+func DecodeTrace(r io.Reader) (name string, accs []TraceAccess, err error) {
+	h, accs, err := tracegen.Decode(r)
+	return h.Name, accs, err
+}
 
 // FaultConfig configures the deterministic fault injector (refresh storms,
 // per-bank latency jitter, transient access rejections). Attach one via
