@@ -16,7 +16,7 @@ vet:
 
 # Repo-specific static analysis (see docs/STATIC_ANALYSIS.md).
 lint:
-	$(GO) run ./cmd/rdlint ./...
+	$(GO) run ./cmd/rdlint -stats ./...
 
 test:
 	$(GO) test ./...

@@ -1,8 +1,10 @@
-// Command rdlint runs the repo's static-analysis suite: the determinism,
-// maprange, stallcause, nilprobe, and wiretag analyzers over every
-// package named by its arguments (./... by default). It exits 0 when the
-// tree is clean, 1 when any finding survives the allowlist, and 2 on
-// usage or load errors. See docs/STATIC_ANALYSIS.md.
+// Command rdlint runs the repo's static-analysis suite — the
+// per-function checks (determinism, maprange, stallcause, nilprobe,
+// wiretag) and the dataflow tier built on the module call graph
+// (canoncheck, lockcheck, ctxcheck, hotalloc) — over every package named
+// by its arguments (./... by default). It exits 0 when the tree is
+// clean, 1 when any finding survives the allowlist, and 2 on usage or
+// load errors. See docs/STATIC_ANALYSIS.md.
 package main
 
 import (
@@ -38,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut     = fs.Bool("json", false, "emit findings as a JSON array instead of file:line lines")
 		runList     = fs.String("run", "", "comma-separated analyzers to run (default: all)")
 		allowPath   = fs.String("allow", "", "allowlist file (default: <module root>/rdlint.allow, if present)")
+		statsOut    = fs.Bool("stats", false, "print a JSON run summary (per-analyzer findings and wall time, call-graph size) to stderr")
 		showVersion = fs.Bool("version", false, "print the build identity stamp and exit")
 	)
 	fs.Usage = func() {
@@ -96,7 +99,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags, stale := lint.Run(pkgs, analyzers, allow)
+	diags, stale, stats := lint.RunWithStats(pkgs, analyzers, allow)
+	if *statsOut {
+		enc := json.NewEncoder(stderr)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			fmt.Fprintln(stderr, "rdlint:", err)
+			return 2
+		}
+	}
 	for _, e := range stale {
 		fmt.Fprintf(stderr, "rdlint: stale allowlist entry %s:%d (%s %s): suppresses nothing — remove it\n",
 			path, e.Line, e.Analyzer, e.Path)

@@ -69,6 +69,7 @@ func (fe *FrontEnd) Done() bool { return fe.done }
 // Advance processes the processor's natural-order accesses whose
 // completion does not exceed limit, stopping early when the controller has
 // not scheduled the data or slot the next access needs.
+// rdlint:hotpath
 func (fe *FrontEnd) Advance(limit int64, p Ports) {
 	for {
 		if !fe.hasPending {
@@ -108,6 +109,7 @@ func (fe *FrontEnd) Advance(limit int64, p Ports) {
 // NextEvent returns the completion time of the processor's next access, if
 // it is schedulable, or Unscheduled if the CPU is waiting on the
 // controller (or finished).
+// rdlint:hotpath
 func (fe *FrontEnd) NextEvent(p Ports) int64 {
 	if !fe.hasPending {
 		// Advance always leaves a pending access unless the walk is done.

@@ -40,9 +40,9 @@ type ChaosBackend struct {
 	Plan  ChaosPlan
 
 	mu     sync.Mutex
-	sweeps int
-	kills  int64
-	stalls int64
+	sweeps int   // guarded by mu
+	kills  int64 // guarded by mu
+	stalls int64 // guarded by mu
 }
 
 // Kills reports how many sweeps the plan killed mid-stream.

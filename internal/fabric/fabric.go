@@ -186,12 +186,12 @@ type Coordinator struct {
 	obsv *obs.Observer
 
 	mu        sync.Mutex
-	workers   map[string]*worker
-	order     []string // sorted addresses, the only iteration order used
-	closed    bool
-	inflight  int
-	nextSweep int64
-	stats     Stats
+	workers   map[string]*worker // guarded by mu
+	order     []string           // guarded by mu; sorted addresses, the only iteration order used
+	closed    bool               // guarded by mu
+	inflight  int                // guarded by mu
+	nextSweep int64              // guarded by mu
+	stats     Stats              // guarded by mu
 
 	stopOnce sync.Once
 	stop     chan struct{}

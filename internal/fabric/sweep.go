@@ -22,12 +22,12 @@ type Sweep struct {
 	keys []string
 
 	mu        sync.Mutex
-	lines     []*service.SweepLine
-	landed    int
-	cacheHits int
-	failed    int
-	reshards  int64
-	dupes     int64 // rows arriving for an already-landed slot (dropped)
+	lines     []*service.SweepLine // guarded by mu
+	landed    int                  // guarded by mu
+	cacheHits int                  // guarded by mu
+	failed    int                  // guarded by mu
+	reshards  int64                // guarded by mu
+	dupes     int64                // guarded by mu; rows arriving for an already-landed slot (dropped)
 
 	ready []chan struct{} // ready[i] closes when lines[i] lands
 	done  chan struct{}   // closes when every line has landed

@@ -1,0 +1,52 @@
+package lint
+
+// FuzzParseAllow drives arbitrary bytes through the allowlist parser.
+// The parser fronts a hand-edited config file, so the invariant under
+// fuzz is totality-with-discipline: never panic, and on success every
+// entry carries a known analyzer, a path, a justification, and the
+// 1-based line number of a non-comment line in the input.
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseAllow(f *testing.F) {
+	f.Add("# header comment\n\nwiretag internal/sim/sim.go # pinned elsewhere\n")
+	f.Add("maprange cmd/rdprof/main.go Stalls # sorted just below\n")
+	f.Add("hotalloc internal/rdram/device.go make allocates # pooled at setup\n")
+	f.Add("wiretag internal/sim/sim.go\n")
+	f.Add("speling internal/sim/sim.go # oops\n")
+	f.Add("wiretag # why\n")
+	f.Add("## # #\n#\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		al, err := ParseAllowlist(src, "fuzz.allow")
+		if err != nil {
+			return
+		}
+		known := make(map[string]bool)
+		for _, a := range All() {
+			known[a.Name] = true
+		}
+		lines := strings.Split(src, "\n")
+		for _, e := range al.entries {
+			if !known[e.Analyzer] {
+				t.Fatalf("parsed entry with unknown analyzer %q from %q", e.Analyzer, src)
+			}
+			if e.Path == "" {
+				t.Fatalf("parsed entry with empty path from %q", src)
+			}
+			if e.Justification == "" {
+				t.Fatalf("parsed entry with empty justification from %q", src)
+			}
+			if e.Line < 1 || e.Line > len(lines) {
+				t.Fatalf("entry line %d out of range for %d-line input", e.Line, len(lines))
+			}
+			raw := strings.TrimSpace(lines[e.Line-1])
+			if raw == "" || strings.HasPrefix(raw, "#") {
+				t.Fatalf("entry points at blank/comment line %d of %q", e.Line, src)
+			}
+		}
+	})
+}

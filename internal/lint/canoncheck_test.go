@@ -1,0 +1,9 @@
+package lint
+
+import "testing"
+
+func TestCanonCheck(t *testing.T) {
+	runFixtureCases(t, CanonCheck, []fixtureCase{
+		{name: "scenario key coverage", dirs: []string{"canoncheck"}},
+	})
+}

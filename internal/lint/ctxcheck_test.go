@@ -1,0 +1,9 @@
+package lint
+
+import "testing"
+
+func TestCtxCheck(t *testing.T) {
+	runFixtureCases(t, CtxCheck, []fixtureCase{
+		{name: "serving-tier context plumbing", dirs: []string{"ctxcheck"}},
+	})
+}

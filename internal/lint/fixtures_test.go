@@ -29,6 +29,10 @@ var fixtureDirs = []string{
 	"stallcause",
 	"nilprobe",
 	"wiretag",
+	"canoncheck",
+	"lockcheck",
+	"ctxcheck",
+	"hotalloc",
 }
 
 var fixtures struct {

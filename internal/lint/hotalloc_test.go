@@ -1,0 +1,9 @@
+package lint
+
+import "testing"
+
+func TestHotAlloc(t *testing.T) {
+	runFixtureCases(t, HotAlloc, []fixtureCase{
+		{name: "hot-path allocation budget", dirs: []string{"hotalloc"}},
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding: a position, the analyzer that produced it,
@@ -44,9 +45,14 @@ type Analyzer struct {
 	Run func(pkgs []*Package) []Diagnostic
 }
 
-// All returns the full suite in stable order.
+// All returns the full suite in stable order: the five first-generation
+// per-function/type checks, then the four dataflow-tier analyzers built
+// on the shared call-graph substrate (see graph.go).
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MapRange, StallCauseCheck, NilProbe, WireTag}
+	return []*Analyzer{
+		Determinism, MapRange, StallCauseCheck, NilProbe, WireTag,
+		CanonCheck, LockCheck, CtxCheck, HotAlloc,
+	}
 }
 
 // Select resolves a comma-separated analyzer list against All. An empty
@@ -81,21 +87,62 @@ func Select(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// AnalyzerStat is one analyzer's row in the -stats summary.
+type AnalyzerStat struct {
+	Name       string  `json:"name"`
+	Findings   int     `json:"findings"`
+	Suppressed int     `json:"suppressed"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// RunStats summarizes one driver invocation for `rdlint -stats` and the
+// CI lint-time gate: per-analyzer counts and wall time, plus the size
+// of the module call graph the dataflow tier analyzed.
+type RunStats struct {
+	Packages       int            `json:"packages"`
+	Files          int            `json:"files"`
+	CallGraphFuncs int            `json:"call_graph_funcs"`
+	CallGraphEdges int            `json:"call_graph_edges"`
+	AnalysisMS     float64        `json:"analysis_ms"`
+	Analyzers      []AnalyzerStat `json:"analyzers"`
+}
+
 // Run executes the analyzers over the packages, suppresses findings the
 // allowlist covers, and returns the rest sorted by position. The second
 // result lists allowlist entries that matched nothing — stale entries the
 // caller should surface so the list stays tight. allow may be nil.
 func Run(pkgs []*Package, analyzers []*Analyzer, allow *Allowlist) ([]Diagnostic, []AllowEntry) {
+	diags, stale, _ := RunWithStats(pkgs, analyzers, allow)
+	return diags, stale
+}
+
+// RunWithStats is Run plus the timing/size summary behind -stats.
+func RunWithStats(pkgs []*Package, analyzers []*Analyzer, allow *Allowlist) ([]Diagnostic, []AllowEntry, *RunStats) {
+	start := time.Now()
+	stats := &RunStats{Packages: len(pkgs)}
+	for _, p := range pkgs {
+		stats.Files += len(p.Files)
+	}
+	g := buildCallGraph(pkgs)
+	stats.CallGraphFuncs = len(g.order)
+	stats.CallGraphEdges = g.edges
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		aStart := time.Now()
+		st := AnalyzerStat{Name: a.Name}
 		for _, d := range a.Run(pkgs) {
 			d.Analyzer = a.Name
 			if allow.covers(d) {
+				st.Suppressed++
 				continue
 			}
+			st.Findings++
 			diags = append(diags, d)
 		}
+		st.ElapsedMS = float64(time.Since(aStart).Microseconds()) / 1000
+		stats.Analyzers = append(stats.Analyzers, st)
 	}
+	stats.AnalysisMS = float64(time.Since(start).Microseconds()) / 1000
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -109,7 +156,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer, allow *Allowlist) ([]Diagnostic
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, allow.stale()
+	return diags, allow.stale(), stats
 }
 
 // pos converts a node position for diagnostics.

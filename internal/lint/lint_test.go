@@ -13,7 +13,9 @@ func TestSelect(t *testing.T) {
 		want    []string // analyzer names, in order
 		wantErr string
 	}{
-		{name: "empty selects the full suite", arg: "", want: []string{"determinism", "maprange", "stallcause", "nilprobe", "wiretag"}},
+		{name: "empty selects the full suite", arg: "", want: []string{
+			"determinism", "maprange", "stallcause", "nilprobe", "wiretag",
+			"canoncheck", "lockcheck", "ctxcheck", "hotalloc"}},
 		{name: "single analyzer", arg: "wiretag", want: []string{"wiretag"}},
 		{name: "comma list preserves order", arg: "nilprobe,determinism", want: []string{"nilprobe", "determinism"}},
 		{name: "spaces tolerated", arg: " maprange , stallcause ", want: []string{"maprange", "stallcause"}},

@@ -1,0 +1,9 @@
+package lint
+
+import "testing"
+
+func TestLockCheck(t *testing.T) {
+	runFixtureCases(t, LockCheck, []fixtureCase{
+		{name: "guarded-by discipline", dirs: []string{"lockcheck"}},
+	})
+}

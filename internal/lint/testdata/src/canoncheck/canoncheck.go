@@ -1,0 +1,73 @@
+// Package canoncheck is the fixture for the cache-key coverage
+// analyzer: a miniature Scenario with a Canonical method that names
+// some fields, folds one sub-struct whole, keys another field-by-field
+// with one field missed, and leaves one root field untouched.
+package canoncheck
+
+// Tuning rides inside Scenario and is folded whole into the key
+// (passed as a call argument), so its fields need no individual
+// mentions.
+type Tuning struct {
+	Policy string
+	Depth  int
+}
+
+// Fault is keyed field-by-field by Canonical — and one field is
+// missed.
+type Fault struct {
+	Seed int64
+	Rate float64 // want "Fault.Rate never reaches the canonical form"
+}
+
+// Scenario is the fixture cache-key root.
+// rdlint:canonroot
+type Scenario struct {
+	Kernel string
+	N      int
+	Stride int // want "Scenario.Stride never reaches the canonical form"
+	Tuning *Tuning
+	Fault  Fault
+	Label  string
+	// Debug is an operator knob that never affects the outcome.
+	// rdlint:nocanon
+	Debug bool
+
+	trace []byte // unexported: invisible to the wire, exempt
+}
+
+// Canonical normalizes the scenario for keying.
+func (sc Scenario) Canonical() Scenario {
+	if sc.Kernel == "" {
+		sc.Kernel = "copy"
+	}
+	if sc.N == 0 {
+		sc.N = 1024
+	}
+	sc.Tuning = cloneTuning(sc.Tuning)
+	// Fault is keyed field-by-field; Rate is (deliberately, for the
+	// fixture) forgotten.
+	_ = sc.Fault.Seed
+	return sc
+}
+
+// cloneTuning folds the whole Tuning struct into the canonical form.
+func cloneTuning(t *Tuning) *Tuning {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	return &c
+}
+
+// KeyOf derives the cache key outside Canonical — the
+// resultcache.Key pattern.
+// rdlint:canonconsumer
+func KeyOf(sc Scenario) string {
+	return sc.Label
+}
+
+// Orphan is marked as a root but has no Canonical method at all.
+// rdlint:canonroot
+type Orphan struct { // want "canon root Orphan has no Canonical method"
+	A int // want "Orphan.A never reaches the canonical form"
+}

@@ -1,0 +1,94 @@
+// Package fabric (fixture) exercises the context-plumbing analyzer: a
+// serving-tier package where ctx-holding functions detach, sleep,
+// call ctx-less HTTP helpers, reach transitive blockers, or skip a
+// Ctx-suffixed variant. The package clause says fabric because
+// ctxcheck keys on the serving-tier package names.
+package fabric
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Fetch receives a ctx and then issues a request that cannot be
+// cancelled.
+func Fetch(ctx context.Context, url string) error {
+	resp, err := http.Get(url) // want "net/http.Get ignores the ctx this function receives"
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Retry sleeps blind instead of selecting on ctx.Done().
+func Retry(ctx context.Context, d time.Duration) {
+	time.Sleep(d) // want "time.Sleep ignores the ctx this function receives"
+}
+
+// Detached throws away the caller's deadline.
+func Detached(ctx context.Context) context.Context {
+	return context.Background() // want "context.Background() inside a function that already receives a ctx"
+}
+
+// pause is a legitimate no-ctx root on its own — but it makes every
+// ctx-holding caller a liar.
+func pause() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// waitRetry blocks one hop further away.
+func waitRetry() {
+	pause()
+}
+
+// Poll holds a ctx and calls into the blocking chain.
+func Poll(ctx context.Context) {
+	waitRetry() // want "call to waitRetry blocks without accepting a context (reaches time.Sleep)"
+}
+
+// sweep is the ctx-less legacy entry point; sweepCtx is its plumbed
+// replacement.
+func sweep() int { return 1 }
+
+func sweepCtx(ctx context.Context) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return 1
+}
+
+// Run still calls the legacy variant.
+func Run(ctx context.Context) int {
+	return sweep() // want "sweep has a context-aware variant sweepCtx"
+}
+
+// Worker carries an http.Client whose ctx-less helpers are sinks too.
+type Worker struct {
+	hc *http.Client
+}
+
+// Push uses the client helper instead of NewRequestWithContext + Do.
+func (w *Worker) Push(ctx context.Context, url string) {
+	resp, err := w.hc.Get(url) // want "net/http.Client.Get ignores the ctx this function receives"
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// Backoff is the blessed shape: cancellation and the timer race in a
+// select, so no diagnostic.
+func Backoff(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// heartbeat has no ctx parameter: it is a legitimate root and its
+// direct sleep is not ctxcheck's business.
+func heartbeat() {
+	time.Sleep(time.Second)
+}

@@ -1,0 +1,71 @@
+// Package hotalloc is the fixture for the hot-path allocation budget:
+// one marked function hitting every flagged construct, one marked
+// function showing the exemptions (presized appends, panic arguments,
+// stack-staying literals), and an unmarked cold function that may
+// allocate freely.
+package hotalloc
+
+import "fmt"
+
+// Ring is a presized FIFO: appends to its fields are exempt because
+// setup owns the capacity.
+type Ring struct {
+	items []int
+}
+
+// failure is a concrete error, for the return-boxing case.
+type failure struct{}
+
+func (failure) Error() string { return "failure" }
+
+// tick hits every flagged construct once.
+// rdlint:hotpath
+func (r *Ring) tick(v int) error {
+	go func() { drain(r) }()      // want "go statement allocates a goroutine"
+	defer noteExit()              // want "defer allocates and delays work on the hot path"
+	register(func() { drain(r) }) // want "function literal escapes to the heap"
+	m := map[string]int{}         // want "map literal allocates"
+	_ = m
+	s := []int{v} // want "slice literal allocates"
+	_ = s
+	buf := make([]int, 0, v) // want "make allocates"
+	_ = buf
+	p := new(Ring) // want "new allocates"
+	_ = p
+	fmt.Println(v)  // want "fmt.Println allocates (formatting boxes its operands)"
+	var box any = v // want "interface conversion at assignment boxes a int value"
+	_ = box
+	sink(v) // want "interface conversion at argument boxes a int value"
+	if v < 0 {
+		return failure{} // want "interface conversion at return boxes a"
+	}
+	var acc []int
+	acc = append(acc, v) // want "append to acc grows an un-presized local slice"
+	_ = acc
+	return nil
+}
+
+// push shows the exemptions: field and parameter appends are presized
+// elsewhere, a fresh-local closure that is only called stays on the
+// stack, and panic arguments may allocate on the crash path.
+// rdlint:hotpath
+func (r *Ring) push(v int, scratch []int) int {
+	r.items = append(r.items, v)
+	scratch = append(scratch, v)
+	double := func(a int) int { return a + a }
+	if v < 0 {
+		panic(fmt.Sprintf("push: negative value %d", v))
+	}
+	return double(len(scratch))
+}
+
+// drain is deliberately cold — no marker, allocations allowed.
+func drain(r *Ring) {
+	r.items = append(r.items, len(fmt.Sprint(r.items)))
+}
+
+func noteExit() {}
+
+func register(f func()) { f() }
+
+func sink(x any) {}

@@ -1,0 +1,114 @@
+// Package lockcheck is the fixture for the lock-discipline analyzer:
+// a cache with two mutex groups, exercised by correct scoped and
+// deferred locking, unguarded accesses, branch-dependent holds, pairing
+// violations, and the *Locked caller-holds convention.
+package lockcheck
+
+import "sync"
+
+// Cache is the annotated struct under test.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]int // guarded by mu
+	order   []string       // guarded by mu
+
+	statsMu sync.RWMutex
+	hits    int // guarded by statsMu
+
+	ghost int // guarded by nosuch // want "`guarded by nosuch` names no sibling sync.Mutex/RWMutex field"
+}
+
+// Get locks with defer: held to function end.
+func (c *Cache) Get(k string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[k]
+	return v, ok
+}
+
+// Scoped locks and unlocks mid-function around the guarded accesses.
+func (c *Cache) Scoped() []string {
+	c.mu.Lock()
+	snap := make([]string, len(c.order))
+	copy(snap, c.order)
+	c.mu.Unlock()
+	return snap
+}
+
+// BadGet reads a guarded field with no lock at all.
+func (c *Cache) BadGet(k string) int {
+	return c.entries[k] // want "read of entries (guarded by mu) without holding mu"
+}
+
+// EarlyReturn unlocks on the early path and falls through locked.
+func (c *Cache) EarlyReturn(k string) bool {
+	c.mu.Lock()
+	if k == "" {
+		c.mu.Unlock()
+		return false
+	}
+	c.order = append(c.order, k) // held on the only path reaching here
+	c.mu.Unlock()
+	return true
+}
+
+// Branchy holds the lock on only one of the two paths into the access.
+func (c *Cache) Branchy(k string) {
+	if k != "" {
+		c.mu.Lock()
+	}
+	c.entries[k] = 1 // want "write of entries (guarded by mu) without holding mu"
+	if k != "" {
+		c.mu.Unlock() // want "mu.Unlock() but mu is not held on every path"
+	}
+}
+
+// ReadSnapshot reads under the read lock — enough for a read.
+func (c *Cache) ReadSnapshot() int {
+	c.statsMu.RLock()
+	defer c.statsMu.RUnlock()
+	return c.hits
+}
+
+// WriteUnderRLock mutates while holding only the read lock.
+func (c *Cache) WriteUnderRLock() {
+	c.statsMu.RLock()
+	c.hits++ // want "write of hits (guarded by statsMu) while holding only the read lock"
+	c.statsMu.RUnlock()
+}
+
+// DoubleLock re-locks a mutex the path already holds.
+func (c *Cache) DoubleLock() {
+	c.mu.Lock()
+	c.mu.Lock() // want "mu.Lock() while mu is already held"
+	c.entries["x"] = 1
+	c.mu.Unlock()
+}
+
+// UnlockNotHeld unlocks without ever locking.
+func (c *Cache) UnlockNotHeld() {
+	c.mu.Unlock() // want "mu.Unlock() but mu is not held on every path"
+}
+
+// evictLocked follows the caller-holds convention and is skipped.
+func (c *Cache) evictLocked(k string) {
+	delete(c.entries, k)
+}
+
+// Evict shows the convention end to end: lock, then call the Locked
+// helper.
+func (c *Cache) Evict(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictLocked(k)
+}
+
+// Async locks inside the goroutine it spawns — the closure's own
+// facts, not the spawner's.
+func (c *Cache) Async(k string) {
+	go func() {
+		c.mu.Lock()
+		c.entries[k] = 2
+		c.mu.Unlock()
+	}()
+}

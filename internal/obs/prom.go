@@ -49,7 +49,7 @@ const (
 // Counter is a monotonic per-series counter handle.
 type Counter struct {
 	mu sync.Mutex
-	v  float64
+	v  float64 // guarded by mu
 }
 
 // Add increments the counter; negative deltas are ignored (counters are
@@ -90,7 +90,7 @@ func (c *Counter) set(v float64) {
 // serving path.
 type LatencyHistogram struct {
 	mu sync.Mutex
-	h  *telemetry.Histogram
+	h  *telemetry.Histogram // guarded by mu
 }
 
 // Observe records one sample (microseconds, by convention of the _us
@@ -132,7 +132,7 @@ type family struct {
 // exposition type panics (a programming error, caught in tests).
 type Registry struct {
 	mu       sync.Mutex
-	families map[string]*family
+	families map[string]*family // guarded by mu
 }
 
 // NewRegistry builds an empty registry.
@@ -140,7 +140,10 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
 }
 
-func (r *Registry) family(name, help, typ string) *family {
+// familyLocked returns (creating if needed) the named family. The
+// caller must hold r.mu — the Locked suffix is the repo-wide contract
+// rdlint's lockcheck keys on.
+func (r *Registry) familyLocked(name, help, typ string) *family {
 	f, ok := r.families[name]
 	if !ok {
 		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
@@ -160,7 +163,7 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	key := renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	f := r.family(name, help, typeCounter)
+	f := r.familyLocked(name, help, typeCounter)
 	s, ok := f.series[key]
 	if !ok {
 		s = &series{labels: key, c: &Counter{}}
@@ -179,7 +182,7 @@ func (r *Registry) SetGauge(name, help string, v float64, labels ...Label) {
 	key := renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	f := r.family(name, help, typeGauge)
+	f := r.familyLocked(name, help, typeGauge)
 	s, ok := f.series[key]
 	if !ok {
 		s = &series{labels: key, c: &Counter{}}
@@ -208,7 +211,7 @@ func (r *Registry) Histogram(name, help string, bounds []int64, labels ...Label)
 	key := renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	f := r.family(name, help, typeHistogram)
+	f := r.familyLocked(name, help, typeHistogram)
 	s, ok := f.series[key]
 	if !ok {
 		s = &series{labels: key, hist: &LatencyHistogram{h: telemetry.MustHistogram(bounds...)}, bounds: bounds}

@@ -84,13 +84,13 @@ type Trace struct {
 	now   func() time.Time
 
 	mu        sync.Mutex
-	end       time.Time // zero until Finish
-	status    int
-	errMsg    string
-	scenarios int
-	cacheHits int
-	spans     []SpanRecord
-	dropped   int
+	end       time.Time    // guarded by mu; zero until Finish
+	status    int          // guarded by mu
+	errMsg    string       // guarded by mu
+	scenarios int          // guarded by mu
+	cacheHits int          // guarded by mu
+	spans     []SpanRecord // guarded by mu
+	dropped   int          // guarded by mu
 }
 
 // ID returns the trace's request ID.
@@ -211,9 +211,9 @@ func (t *Trace) Record() TraceRecord {
 // oldest is evicted past capacity. Safe for concurrent use.
 type Ring struct {
 	mu    sync.Mutex
-	slots []*Trace // circular buffer; slots[next] is the oldest
-	next  int
-	byID  map[string]*Trace
+	slots []*Trace          // guarded by mu; circular buffer; slots[next] is the oldest
+	next  int               // guarded by mu
+	byID  map[string]*Trace // guarded by mu
 }
 
 // NewRing builds a ring holding up to capacity traces (min 1).

@@ -159,6 +159,7 @@ func (d *Device) emit(kind TraceKind, at int64, dur int, bank, row, col int) {
 // t_RR = 8 cycles apart and only t_PACK = 4 cycles wide, the row bus always
 // has a free slot for a background (auto) precharge. Critical-path
 // precharges — page conflicts and explicit closes — do occupy the bus.
+// rdlint:hotpath
 func (d *Device) prechargeAt(b int, at int64, occupyBus bool) int64 {
 	t := &d.cfg.Timing
 	bk := &d.banks[b]
@@ -189,6 +190,7 @@ func (d *Device) prechargeAt(b int, at int64, occupyBus bool) int64 {
 // activateAt schedules a ROW ACT packet opening row in bank b no earlier
 // than at, first precharging any double-bank neighbour that is open, and
 // returns the ACT start cycle.
+// rdlint:hotpath
 func (d *Device) activateAt(b, row int, at int64) int64 {
 	t := &d.cfg.Timing
 	bk := &d.banks[b]
@@ -298,6 +300,7 @@ func (d *Device) ActivateBank(b, row int, at int64) int64 {
 
 // maybeRefresh injects pending refresh operations before cycle at.
 // Each refresh is an ACT/PRER pair on the next bank in round-robin order.
+// rdlint:hotpath
 func (d *Device) maybeRefresh(at int64) {
 	if d.cfg.RefreshInterval <= 0 {
 		return
@@ -349,6 +352,7 @@ func (d *Device) Do(at int64, req Request) Result {
 // change (beyond the Stats.Rejections count), and an accepted access may
 // carry bounded additive latency on its t_RCD/t_CAC/t_RP terms. With no
 // injector attached Attempt always accepts and is exactly Do.
+// rdlint:hotpath
 func (d *Device) Attempt(at int64, req Request) (Result, bool) {
 	d.checkAddr(req.Bank, req.Row, req.Col)
 	var fault AccessFault
@@ -549,6 +553,7 @@ const NoEvent = int64(-1)
 // events — so the schedulers min their own event sets and use NextEventAt
 // for stall diagnostics and tests (see docs/PERFORMANCE.md for why folding
 // it into the scheduler wake-ups would split telemetry idle episodes).
+// rdlint:hotpath
 func (d *Device) NextEventAt(now int64) int64 {
 	next := NoEvent
 	consider := func(t int64) {

@@ -111,23 +111,23 @@ type Cache struct {
 	vstamp     string
 
 	mu      sync.Mutex
-	order   *list.List               // front = most recently used
-	entries map[string]*list.Element // key -> element whose Value is *entry
+	order   *list.List               // guarded by mu; front = most recently used
+	entries map[string]*list.Element // guarded by mu; key -> element whose Value is *entry
 
 	flightMu sync.Mutex
-	inflight map[string]*flight
+	inflight map[string]*flight // guarded by flightMu
 
 	// peerMu guards peer, which can be wired after construction
 	// (SetPeer) once the fabric coordinator knows its workers.
 	peerMu sync.RWMutex
-	peer   PeerFunc
+	peer   PeerFunc // guarded by peerMu
 
 	// statsMu guards every counter as one group: increments that belong
 	// together (a disk rescue is a Hit AND a DiskHit) happen in a single
 	// critical section, and Stats reads them all in one, so a concurrent
 	// snapshot can never observe DiskHits > Hits or similar skew.
 	statsMu sync.Mutex
-	stats   Stats
+	stats   Stats // guarded by statsMu
 }
 
 // count runs one grouped counter mutation under the stats lock.
@@ -163,6 +163,7 @@ func New(o Options) (*Cache, error) {
 		order:      list.New(),
 		entries:    make(map[string]*list.Element),
 		inflight:   make(map[string]*flight),
+		peer:       o.Peer,
 	}
 	if o.Dir != "" {
 		d, err := newDiskStore(o.Dir)
@@ -171,7 +172,6 @@ func New(o Options) (*Cache, error) {
 		}
 		c.disk = d
 	}
-	c.peer = o.Peer
 	return c, nil
 }
 
@@ -197,6 +197,11 @@ func (c *Cache) peerFunc() PeerFunc {
 // explicit defaults, and attached observers all collapse — and the key is
 // independent of field declaration order because the digest input is a
 // sorted field list.
+//
+// rdlint:canonconsumer — canoncheck requires every exported Scenario
+// field (transitively) to be named here, folded whole via %+v, or
+// consumed by Canonical; a new field that misses the key is a lint
+// error instead of a cross-worker cache collision.
 func Key(sc sim.Scenario) (string, error) {
 	canon, err := sc.Canonical()
 	if err != nil {

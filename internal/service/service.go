@@ -104,13 +104,13 @@ type Job struct {
 	ctx context.Context
 
 	mu        sync.Mutex
-	state     State
-	completed int
-	failed    int
-	cacheHits int
-	results   []*ScenarioResult
-	ready     []chan struct{} // ready[i] closes when results[i] lands
-	done      chan struct{}   // closes when every scenario is terminal
+	state     State             // guarded by mu
+	completed int               // guarded by mu
+	failed    int               // guarded by mu
+	cacheHits int               // guarded by mu
+	results   []*ScenarioResult // guarded by mu
+	ready     []chan struct{}   // ready[i] closes when results[i] lands; the slice is sized at construction and never reassigned
+	done      chan struct{}     // closes when every scenario is terminal
 }
 
 // ID returns the job's queryable identifier.
@@ -226,11 +226,11 @@ type Service struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queue    []*task
-	closed   bool
-	jobs     map[string]*Job
-	jobOrder []string // submission order, for retention eviction
-	nextJob  int64
+	queue    []*task         // guarded by mu
+	closed   bool            // guarded by mu
+	jobs     map[string]*Job // guarded by mu
+	jobOrder []string        // guarded by mu; submission order, for retention eviction
+	nextJob  int64           // guarded by mu
 
 	obsv *obs.Observer
 
@@ -242,10 +242,10 @@ type Service struct {
 	// lags a decrement (race-tested). Leaf lock: never held while
 	// acquiring s.mu or any cache lock.
 	obsMu    sync.Mutex
-	busy     int64
-	tasksRun int64
-	batches  int64
-	stalls   map[string]int64
+	busy     int64            // guarded by obsMu
+	tasksRun int64            // guarded by obsMu
+	batches  int64            // guarded by obsMu
+	stalls   map[string]int64 // guarded by obsMu
 
 	drained chan struct{} // dispatcher exited
 }
@@ -323,13 +323,12 @@ func (s *Service) SubmitOne(ctx context.Context, sc sim.Scenario) (*Job, error) 
 // runs) and the queue either has room for all of them or the submission
 // fails with ErrQueueFull. ctx scopes the job's execution — when it is
 // canceled, scenarios not yet started fail with the context's error
-// instead of running.
+// instead of running. ctx must be non-nil, per the usual context
+// contract; use context.Background() at the call site for a job that
+// should never be canceled.
 func (s *Service) Submit(ctx context.Context, scs []sim.Scenario) (*Job, error) {
 	if len(scs) == 0 {
 		return nil, ErrEmptyJob
-	}
-	if ctx == nil {
-		ctx = context.Background()
 	}
 	for i, sc := range scs {
 		if err := sc.Validate(); err != nil {

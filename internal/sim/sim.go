@@ -49,6 +49,11 @@ func (m Mode) String() string {
 }
 
 // Scenario describes one simulation.
+//
+// rdlint:canonroot — this struct is the result cache's key domain.
+// canoncheck requires every exported field (and every exported field of
+// structs reachable from here) to influence Canonical()/resultcache.Key
+// or carry an explicit rdlint:nocanon opt-out.
 type Scenario struct {
 	// KernelName selects a benchmark from stream.Benchmarks.
 	KernelName string `json:"KernelName"`

@@ -279,6 +279,7 @@ func (s *sim) run() error {
 // waking on device events would re-run the scheduler to no effect and split
 // the telemetry idle episodes noteBlocked records. Device events surface
 // through dumpState and the watchdog diagnostics instead.
+// rdlint:hotpath
 func (s *sim) nextWakeup() int64 {
 	t := s.fe.NextEvent(s)
 	if rt := s.nextRetry(); rt > s.msuTime && (t == engine.Unscheduled || rt < t) {
@@ -291,6 +292,7 @@ func (s *sim) nextWakeup() int64 {
 // among FIFOs with work remaining, or unscheduled if none. Expired backoffs
 // are ignored: such a FIFO is already serviceable, so its stale retry time
 // must not masquerade as a wake-up in the past.
+// rdlint:hotpath
 func (s *sim) nextRetry() int64 {
 	t := unscheduled
 	for _, f := range s.reads {
@@ -406,6 +408,7 @@ func (s *sim) fifoCount() int { return len(s.reads) + len(s.writes) }
 // canService reports whether FIFO i can accept an access right now, and
 // the earliest time the access's data could move. A FIFO backing off after
 // a transient rejection is not serviceable until its retry time.
+// rdlint:hotpath
 func (s *sim) canService(i int) (bool, int64) {
 	if i < s.nr {
 		f := s.reads[i]
@@ -425,6 +428,7 @@ func (s *sim) canService(i int) (bool, int64) {
 // for it. It reports whether anything was issued; a pick the device
 // transiently rejected counts as not issued (the FIFO backs off and the
 // run loop advances time so other streams get the bus).
+// rdlint:hotpath
 func (s *sim) issueOne() bool {
 	n := s.fifoCount()
 	switch s.cfg.Policy {
@@ -493,6 +497,7 @@ func (s *sim) issueOne() bool {
 }
 
 // nextGroup returns the group FIFO i would issue next.
+// rdlint:hotpath
 func (s *sim) nextGroup(i int) group {
 	if i < s.nr {
 		f := s.reads[i]
@@ -505,6 +510,7 @@ func (s *sim) nextGroup(i int) group {
 // issue performs one packet access for FIFO i, reporting whether the
 // device accepted it. On a transient rejection (fault injection) the
 // FIFO's backoff is armed and no controller state changes.
+// rdlint:hotpath
 func (s *sim) issue(i int) bool {
 	g := s.nextGroup(i)
 	var next *group

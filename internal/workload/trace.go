@@ -62,10 +62,6 @@ func ReplayTrace(dev *rdram.Device, opt TraceOptions, accs []TraceAccess) (engin
 	// buffer: consecutive same-line accesses are absorbed; the first
 	// access's op decides the transaction's direction.
 	capacity := mapper.CapacityWords()
-	type txn struct {
-		line  int64
-		write bool
-	}
 	var txns []txn
 	lastLine := int64(-1)
 	for i, a := range accs {
@@ -80,32 +76,19 @@ func ReplayTrace(dev *rdram.Device, opt TraceOptions, accs []TraceAccess) (engin
 		txns = append(txns, txn{line: line, write: a.Write})
 	}
 
-	packets := opt.LineWords / rdram.WordsPerPacket
 	autoPre := opt.Scheme == addrmap.CLI
-	window := engine.NewWindow(outstanding)
-	issue := func(t txn) error {
-		at := window.Admit(0)
-		base := t.line * int64(opt.LineWords)
-		var complete int64
-		for p := 0; p < packets; p++ {
-			loc := mapper.Map(base + int64(p*rdram.WordsPerPacket))
-			res, err := engine.Issue(dev, at, rdram.Request{
-				Bank: loc.Bank, Row: loc.Row, Col: loc.Col,
-				Write:         t.write,
-				AutoPrecharge: autoPre && p == packets-1,
-			})
-			if err != nil {
-				return err
-			}
-			complete = res.DataEnd
-		}
-		window.Complete(complete)
-		return nil
+	ti := &traceIssuer{
+		dev:       dev,
+		mapper:    mapper,
+		window:    engine.NewWindow(outstanding),
+		lineWords: opt.LineWords,
+		packets:   opt.LineWords / rdram.WordsPerPacket,
+		autoPre:   autoPre,
 	}
 
 	if !opt.Reorder {
 		for _, t := range txns {
-			if err := issue(t); err != nil {
+			if err := ti.issue(t); err != nil {
 				return engine.Result{}, err
 			}
 		}
@@ -154,7 +137,7 @@ func ReplayTrace(dev *rdram.Device, opt TraceOptions, accs []TraceAccess) (engin
 				}
 			}
 			issued[pick] = true
-			if err := issue(txns[pick]); err != nil {
+			if err := ti.issue(txns[pick]); err != nil {
 				return engine.Result{}, err
 			}
 			if autoPre {
@@ -174,4 +157,48 @@ func ReplayTrace(dev *rdram.Device, opt TraceOptions, accs []TraceAccess) (engin
 	}
 	res.Finalize(dev.Config().Timing.CyclesPerWordPeak())
 	return res, nil
+}
+
+// txn is one coalesced cacheline transaction of a trace.
+type txn struct {
+	line  int64
+	write bool
+}
+
+// traceIssuer carries the per-transaction replay state so the inner
+// loop is a named method the allocation lint can police, instead of a
+// closure.
+type traceIssuer struct {
+	dev       *rdram.Device
+	mapper    *addrmap.Mapper
+	window    *engine.Window
+	lineWords int
+	packets   int
+	autoPre   bool
+}
+
+// issue services one line transaction packet by packet: admit into the
+// outstanding-access window, issue each packet through the engine's
+// retry loop, and record the completion time. This runs once per
+// transaction for the whole trace — the replay inner loop.
+//
+// rdlint:hotpath
+func (ti *traceIssuer) issue(t txn) error {
+	at := ti.window.Admit(0)
+	base := t.line * int64(ti.lineWords)
+	var complete int64
+	for p := 0; p < ti.packets; p++ {
+		loc := ti.mapper.Map(base + int64(p*rdram.WordsPerPacket))
+		res, err := engine.Issue(ti.dev, at, rdram.Request{
+			Bank: loc.Bank, Row: loc.Row, Col: loc.Col,
+			Write:         t.write,
+			AutoPrecharge: ti.autoPre && p == ti.packets-1,
+		})
+		if err != nil {
+			return err
+		}
+		complete = res.DataEnd
+	}
+	ti.window.Complete(complete)
+	return nil
 }
